@@ -1,0 +1,27 @@
+# Convenience targets for the SpiderCache reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-csv examples smoke all
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Same benches, also dumping every table as CSV into results/.
+bench-csv:
+	mkdir -p results
+	REPRO_BENCH_CSV_DIR=results $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PYTHON) $$ex || exit 1; done
+
+smoke:
+	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3
+
+all: test bench

@@ -1,0 +1,47 @@
+"""E15 — Fig. 11: Eq.-8 ratio-change curves across penalty values.
+
+Paper: as u goes from 1 to 0, the imp-ratio trajectory shifts from slow
+adjustment (preserving accuracy during rapid growth) to fast adjustment
+(harvesting hit ratio once accuracy stabilizes).
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.elastic import RatioController
+
+US = [0.0, 0.25, 0.5, 0.75, 1.0]
+T = 100
+
+
+def _measure():
+    ctrl = RatioController(r_start=0.9, r_end=0.8, total_epochs=T)
+    curves = {u: np.array([ctrl.ratio(t, beta=1, u=u) for t in range(T + 1)])
+              for u in US}
+    return curves
+
+
+def test_fig11_ratio_curves(once, benchmark):
+    curves = once(_measure)
+    marks = [0, 25, 50, 75, 100]
+    rows = [
+        (f"u={u:.2f}",) + tuple(f"{curves[u][t]:.4f}" for t in marks)
+        for u in US
+    ]
+    print_table(
+        "Fig 11: imp-ratio(t) under Eq. 8 for penalty values u",
+        ["curve"] + [f"t={t}" for t in marks],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    for u, c in curves.items():
+        # Every curve runs r_start -> r_end monotonically.
+        assert c[0] == 0.9 and abs(c[-1] - 0.8) < 1e-9
+        assert all(a >= b for a, b in zip(c, c[1:])), u
+    # Higher u = slower mid-course adjustment (curves ordered at t = T/2).
+    mids = [curves[u][T // 2] for u in US]
+    assert all(a <= b + 1e-12 for a, b in zip(mids, mids[1:]))
+    # The u=0 curve is exactly linear; u=1 exactly quadratic.
+    t = np.arange(T + 1) / T
+    np.testing.assert_allclose(curves[0.0], 0.9 - 0.1 * t, atol=1e-12)
+    np.testing.assert_allclose(curves[1.0], 0.9 - 0.1 * t**2, atol=1e-12)

@@ -1,0 +1,61 @@
+"""E16 — Fig. 12: pipelined IS-overlap schedules.
+
+Paper: short-IS models (ResNets) hide the graph-IS computation under
+Stage 2 (Fig. 12(a)); long-IS models (AlexNet/VGG16) extend the overlap
+window into the next batch's Stage 1 (Fig. 12(b)). Either way the visible
+overhead vanishes.
+"""
+
+from conftest import print_table
+
+from repro.train.pipeline import PipelineSimulator, StageCostModel
+
+N_BATCHES = 32
+
+
+def _measure():
+    rows = []
+    gantts = {}
+    for name in ["resnet18", "resnet50", "alexnet", "vgg16"]:
+        c = StageCostModel.for_model(name)
+        serial = PipelineSimulator(c, mode="none")
+        recommended = PipelineSimulator(c, mode=c.recommended_mode())
+        rows.append(
+            (
+                name,
+                c.recommended_mode(),
+                f"{serial.makespan_ms(N_BATCHES):.0f}ms",
+                f"{recommended.makespan_ms(N_BATCHES):.0f}ms",
+                f"{serial.makespan_ms(N_BATCHES) / recommended.makespan_ms(N_BATCHES):.2f}x",
+                f"{recommended.per_batch_visible_ms(N_BATCHES):.2f}ms",
+            )
+        )
+        gantts[name] = recommended.schedule(3)
+    return rows, gantts
+
+
+def test_fig12_pipeline_overlap(once, benchmark):
+    rows, gantts = once(_measure)
+    print_table(
+        f"Fig 12: pipeline makespan over {N_BATCHES} batches",
+        ["model", "mode", "serial", "overlapped", "speed-up", "visible IS/batch"],
+        rows,
+    )
+    # Show the first batches' schedule for one short-IS and one long-IS model.
+    for name in ["resnet18", "alexnet"]:
+        print(f"\n{name} schedule (first 3 batches):")
+        for iv in gantts[name]:
+            print(f"  batch {iv.batch} {iv.stage:<7} "
+                  f"[{iv.start_ms:7.1f} .. {iv.end_ms:7.1f}] ms")
+    benchmark.extra_info["rows"] = rows
+    for r in rows:
+        # Overlap strictly beats serial and hides (amortized) all IS time.
+        assert float(r[4].rstrip("x")) > 1.1, r[0]
+        assert float(r[5].rstrip("ms")) < 0.5, r[0]
+    # IS never overlaps its own batch's Stage 1 (it needs the embeddings).
+    for name, sched in gantts.items():
+        by_batch = {}
+        for iv in sched:
+            by_batch.setdefault(iv.batch, {})[iv.stage] = iv
+        for b, stages in by_batch.items():
+            assert stages["is"].start_ms >= stages["stage1"].end_ms - 1e-9

@@ -1,0 +1,57 @@
+"""E14 — Fig. 17: per-epoch training time vs GPU count.
+
+Paper: SpiderCache reduces per-epoch time at every GPU count (1-4), with
+the relative gap persisting as GPUs scale compute away and I/O remains;
+communication overheads keep scaling sublinear.
+"""
+
+import numpy as np
+from conftest import make_split, print_table
+
+from repro.baselines.baseline import LRUBaselinePolicy
+from repro.core.policy import SpiderCachePolicy
+from repro.nn.models import build_model
+from repro.train.multigpu import MultiGPUSimulator
+from repro.train.trainer import Trainer, TrainerConfig
+
+GPUS = [1, 2, 3, 4]
+
+
+def _measure():
+    train, test = make_split("cifar10-like", 1200, seed=0)
+    sim = MultiGPUSimulator(comm_ms_per_step=8.0, steps_per_epoch=15)
+    out = {}
+    for name, policy in [
+        ("baseline", LRUBaselinePolicy(cache_fraction=0.2, rng=3)),
+        ("spidercache", SpiderCachePolicy(cache_fraction=0.2, rng=3)),
+    ]:
+        model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+        res = Trainer(model, train, test, policy,
+                      TrainerConfig(epochs=10, batch_size=64)).run()
+        out[name] = sim.per_epoch_times(res, GPUS)
+    return out
+
+
+def test_fig17_multigpu(once, benchmark):
+    times = once(_measure)
+    rows = [
+        (f"{k} GPU{'s' if k > 1 else ''}",
+         f"{times['baseline'][k]:.2f}s",
+         f"{times['spidercache'][k]:.2f}s",
+         f"{times['baseline'][k] / times['spidercache'][k]:.2f}x")
+        for k in GPUS
+    ]
+    print_table(
+        "Fig 17: mean per-epoch time vs GPU count (ResNet18, cifar10-like)",
+        ["GPUs", "baseline", "SpiderCache", "speed-up"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    for policy in ["baseline", "spidercache"]:
+        series = [times[policy][k] for k in GPUS]
+        # More GPUs -> faster epochs, but sublinear (communication).
+        assert all(a > b for a, b in zip(series, series[1:])), policy
+        assert series[0] / series[-1] < 4.0, policy
+    # SpiderCache faster at every GPU count.
+    for k in GPUS:
+        assert times["spidercache"][k] < times["baseline"][k], k

@@ -1,0 +1,74 @@
+"""E4 — Fig. 6(a): loss variability over training.
+
+Paper's Motivation 1: raw losses shrink and shift as training progresses,
+so loss-based importance scores are incomparable across epochs. We track
+per-epoch loss quantiles and show the distributions drift by orders of
+magnitude while graph scores keep a stable range.
+"""
+
+import numpy as np
+from conftest import make_split, print_table
+
+from repro.core.policy import SpiderCachePolicy
+from repro.nn.models import build_model
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+class _LossTracker(SpiderCachePolicy):
+    def __init__(self, **kw):
+        super().__init__(**kw)
+        self.epoch_losses = {}
+        self.epoch_score_stats = {}
+
+    def after_batch(self, requested, served, losses, embeddings, epoch):
+        self.epoch_losses.setdefault(epoch, []).append(losses.copy())
+        super().after_batch(requested, served, losses, embeddings, epoch)
+
+    def after_epoch(self, epoch, val_accuracy):
+        scores = self.score_table.scores
+        self.epoch_score_stats[epoch] = (float(np.median(scores)),
+                                         float(scores.max()))
+        super().after_epoch(epoch, val_accuracy)
+
+
+def _measure():
+    train, test = make_split(n_samples=1000, seed=0)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=1)
+    policy = _LossTracker(cache_fraction=0.0, rng=2)
+    Trainer(model, train, test, policy,
+            TrainerConfig(epochs=12, batch_size=64)).run()
+    rows = []
+    score_ranges = []
+    for e in [0, 3, 6, 11]:
+        losses = np.concatenate(policy.epoch_losses[e])
+        med, mx = policy.epoch_score_stats[e]
+        rows.append(
+            (
+                str(e),
+                f"{np.median(losses):.4f}",
+                f"{np.quantile(losses, 0.9):.4f}",
+                f"{losses.std():.4f}",
+                f"{med:.3f}",
+                f"{mx:.3f}",
+            )
+        )
+        score_ranges.append((med, mx))
+    return rows, score_ranges
+
+
+def test_fig6a_loss_variability(once, benchmark):
+    rows, score_ranges = once(_measure)
+    print_table(
+        "Fig 6(a): loss distribution drift vs graph-score stability",
+        ["epoch", "loss med", "loss p90", "loss std", "score med", "score max"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    med_first = float(rows[0][1])
+    med_last = float(rows[-1][1])
+    # Losses collapse by >5x across training: raw-loss scores from epoch 0
+    # and epoch 11 live on different scales.
+    assert med_last < med_first / 5
+    # Graph scores stay within one bounded range (ln(3+eps) max by Eq. 4).
+    for _, mx in score_ranges:
+        assert mx < 1.2

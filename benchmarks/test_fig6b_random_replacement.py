@@ -1,0 +1,48 @@
+"""E5 — Fig. 6(b): random replacement degrades accuracy.
+
+Paper: iCache's random L-sample substitution boosts hit ratio but
+"significantly degrades the model's final accuracy".
+"""
+
+from conftest import make_split, print_table
+
+from repro.baselines.icache import ICacheFullPolicy
+from repro.nn.models import build_model
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+def _measure():
+    rows = []
+    results = {}
+    for sub_prob in [0.0, 1.0]:
+        accs, hits = [], []
+        for seed in [0, 1, 2]:
+            train, test = make_split(n_samples=1000, seed=seed)
+            model = build_model("resnet18", train.dim, train.num_classes, rng=seed)
+            policy = ICacheFullPolicy(
+                cache_fraction=0.2, substitute_prob=sub_prob,
+                skip_quantile=0.0, rng=seed + 10,
+            )
+            res = Trainer(model, train, test, policy,
+                          TrainerConfig(epochs=12, batch_size=64)).run()
+            accs.append(res.final_accuracy)
+            hits.append(res.mean_hit_ratio)
+        acc = sum(accs) / len(accs)
+        hit = sum(hits) / len(hits)
+        results[sub_prob] = (acc, hit)
+        rows.append((f"{sub_prob:.0%}", f"{acc:.3f}", f"{hit:.3f}"))
+    return rows, results
+
+
+def test_fig6b_random_replacement(once, benchmark):
+    rows, results = once(_measure)
+    print_table(
+        "Fig 6(b): iCache random substitution — accuracy vs hit ratio",
+        ["substitute prob", "final accuracy", "mean hit ratio"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    acc0, hit0 = results[0.0]
+    acc1, hit1 = results[1.0]
+    assert hit1 > hit0  # substitution raises the hit ratio...
+    assert acc1 < acc0  # ...but costs accuracy (the paper's complaint)

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The environment ships setuptools without the ``wheel`` package, so PEP-517
+editable installs fail with ``invalid command 'bdist_wheel'``. This shim
+enables ``pip install -e . --no-use-pep517`` (setup.py develop). All real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

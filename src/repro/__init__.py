@@ -1,0 +1,37 @@
+"""SpiderCache reproduction.
+
+A from-scratch Python implementation of *SpiderCache: Semantic-Aware
+Caching Strategy for DNN Training* (ICPP '25) and every substrate its
+evaluation depends on: a NumPy DNN training stack, an HNSW ANN index with
+Product Quantization, a remote-storage simulator, classic cache policies,
+and the SHADE / iCache / CoorDL comparator systems.
+
+Quickstart::
+
+    from repro import SpiderCachePolicy, Trainer, TrainerConfig
+    from repro.data import make_dataset, train_test_split
+    from repro.nn import build_model
+
+    data = make_dataset("cifar10-like", rng=0)
+    train, test = train_test_split(data, rng=1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+    policy = SpiderCachePolicy(cache_fraction=0.2, rng=3)
+    result = Trainer(model, train, test, policy,
+                     TrainerConfig(epochs=20)).run()
+    print(result.summary())
+"""
+
+from repro.core.policy import SpiderCachePolicy
+from repro.train.metrics import EpochMetrics, TrainResult
+from repro.train.trainer import Trainer, TrainerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SpiderCachePolicy",
+    "Trainer",
+    "TrainerConfig",
+    "TrainResult",
+    "EpochMetrics",
+    "__version__",
+]

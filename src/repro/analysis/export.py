@@ -1,0 +1,127 @@
+"""Result exporters: CSV figure data and ASCII pipeline Gantt charts.
+
+The benchmarks print human-readable tables; this module produces
+machine-readable artifacts for plotting (each figure's series as CSV) and
+a terminal rendering of the §5 pipeline schedules (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.train.metrics import TrainResult
+from repro.train.pipeline import ScheduledInterval
+
+__all__ = ["result_to_csv", "results_to_csv", "render_gantt", "write_rows_csv"]
+
+
+def result_to_csv(result: TrainResult, path: Union[str, Path, None] = None) -> str:
+    """Serialize a run's per-epoch metrics to CSV; returns the CSV text.
+
+    Writes to ``path`` when given (parent directories created).
+    """
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow([
+        "policy", "model", "dataset", "epoch", "train_loss", "val_accuracy",
+        "hit_ratio", "exact_hit_ratio", "substitute_ratio",
+        "data_load_s", "compute_s", "is_visible_s", "epoch_time_s",
+        "imp_ratio", "score_std",
+    ])
+    for e in result.epochs:
+        writer.writerow([
+            result.policy_name, result.model_name, result.dataset_name,
+            e.epoch, f"{e.train_loss:.6f}", f"{e.val_accuracy:.6f}",
+            f"{e.hit_ratio:.6f}", f"{e.exact_hit_ratio:.6f}",
+            f"{e.substitute_ratio:.6f}",
+            f"{e.data_load_s:.6f}", f"{e.compute_s:.6f}",
+            f"{e.is_visible_s:.6f}", f"{e.epoch_time_s:.6f}",
+            "" if e.imp_ratio is None else f"{e.imp_ratio:.6f}",
+            "" if e.score_std is None else f"{e.score_std:.6f}",
+        ])
+    text = buf.getvalue()
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return text
+
+
+def results_to_csv(
+    results: Sequence[TrainResult], path: Union[str, Path, None] = None
+) -> str:
+    """Concatenate several runs into one long-format CSV."""
+    if not results:
+        raise ValueError("no results to export")
+    parts = [result_to_csv(results[0])]
+    for r in results[1:]:
+        # Strip the header from subsequent runs.
+        parts.append(result_to_csv(r).split("\n", 1)[1])
+    text = "".join(parts)
+    if path is not None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return text
+
+
+def write_rows_csv(
+    header: Sequence[str], rows: Sequence[Sequence], path: Union[str, Path]
+) -> Path:
+    """Write a benchmark's printed table rows as CSV."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f, lineterminator="\n")
+        writer.writerow(list(header))
+        for r in rows:
+            writer.writerow(list(r))
+    return path
+
+
+_STAGE_CHARS = {"stage1": "1", "stage2": "2", "is": "#"}
+
+
+def render_gantt(
+    schedule: Sequence[ScheduledInterval],
+    width: int = 78,
+    max_batches: Optional[int] = None,
+) -> str:
+    """Render a pipeline schedule as an ASCII Gantt chart (Fig.-12 style).
+
+    One row per (batch, stream): the main stream shows Stage1/Stage2 as
+    ``1``/``2`` runs; the IS side-stream shows ``#``. Time scales to
+    ``width`` characters.
+    """
+    if not schedule:
+        return "(empty schedule)"
+    intervals = list(schedule)
+    if max_batches is not None:
+        intervals = [iv for iv in intervals if iv.batch < max_batches]
+    end = max(iv.end_ms for iv in intervals)
+    scale = (width - 1) / end if end > 0 else 1.0
+
+    def span(iv: ScheduledInterval) -> tuple:
+        a = int(round(iv.start_ms * scale))
+        b = max(a + 1, int(round(iv.end_ms * scale)))
+        return a, b
+
+    lines: List[str] = [f"time: 0 .. {end:.0f} ms ({'1'}=stage1 {'2'}=stage2 #=IS)"]
+    batches = sorted({iv.batch for iv in intervals})
+    for b in batches:
+        main = [" "] * width
+        side = [" "] * width
+        for iv in intervals:
+            if iv.batch != b:
+                continue
+            a, z = span(iv)
+            row = side if iv.stage == "is" else main
+            ch = _STAGE_CHARS[iv.stage]
+            for i in range(a, min(z, width)):
+                row[i] = ch
+        lines.append(f"b{b:<3}|" + "".join(main))
+        lines.append(f"  IS|" + "".join(side))
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Multi-seed experiment statistics.
+
+The benchmarks average a handful of seeds; these helpers make the
+uncertainty explicit: means with bootstrap confidence intervals, and a
+paired-comparison test for "is policy A really better than policy B on the
+same seeds?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = ["MeanCI", "mean_ci", "paired_bootstrap_pvalue"]
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A mean with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    level: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f} [{self.low:.3f}, {self.high:.3f}]"
+
+    def overlaps(self, other: "MeanCI") -> bool:
+        """True if the two intervals overlap (difference not resolved)."""
+        return self.low <= other.high and other.low <= self.high
+
+
+def mean_ci(
+    values: Sequence[float],
+    level: float = 0.95,
+    n_boot: int = 2000,
+    rng: RngLike = 0,
+) -> MeanCI:
+    """Bootstrap percentile CI for the mean of ``values``.
+
+    With a single value the interval degenerates to a point.
+    """
+    vals = np.asarray(values, dtype=np.float64)
+    if vals.size == 0:
+        raise ValueError("need at least one value")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must be in (0, 1)")
+    m = float(vals.mean())
+    if vals.size == 1:
+        return MeanCI(m, m, m, level)
+    gen = resolve_rng(rng)
+    idx = gen.integers(0, vals.size, size=(n_boot, vals.size))
+    boots = vals[idx].mean(axis=1)
+    alpha = (1.0 - level) / 2
+    return MeanCI(
+        m,
+        float(np.quantile(boots, alpha)),
+        float(np.quantile(boots, 1 - alpha)),
+        level,
+    )
+
+
+def paired_bootstrap_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    n_boot: int = 5000,
+    rng: RngLike = 0,
+) -> float:
+    """One-sided paired bootstrap p-value for ``mean(a) > mean(b)``.
+
+    ``a`` and ``b`` must be paired (same seeds, same order). Returns the
+    bootstrap probability that the mean difference is <= 0 — small values
+    mean "A reliably beats B on these seeds".
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape or a.size == 0:
+        raise ValueError("a and b must be equal-length, non-empty")
+    diff = a - b
+    if a.size == 1:
+        return 0.0 if diff[0] > 0 else 1.0
+    gen = resolve_rng(rng)
+    idx = gen.integers(0, diff.size, size=(n_boot, diff.size))
+    boots = diff[idx].mean(axis=1)
+    return float(np.mean(boots <= 0))

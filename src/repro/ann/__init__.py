@@ -1,0 +1,30 @@
+"""Approximate-nearest-neighbor substrate.
+
+SpiderCache's graph-based importance sampling (paper §4.1) relies on HNSW
+for fast neighbor search over sample embeddings, with Product Quantization
+to bound index memory (paper §5, Table 2). This package implements both from
+scratch plus an exact brute-force oracle used for recall validation.
+"""
+
+from repro.ann.brute import BruteForceIndex
+from repro.ann.distance import (
+    cosine_distance_matrix,
+    l2_distance_matrix,
+    l2_distances,
+    pairwise_l2,
+)
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.index_stats import IndexStorageModel, estimate_index_size_bytes
+from repro.ann.pq import ProductQuantizer
+
+__all__ = [
+    "BruteForceIndex",
+    "HNSWIndex",
+    "ProductQuantizer",
+    "IndexStorageModel",
+    "estimate_index_size_bytes",
+    "l2_distances",
+    "l2_distance_matrix",
+    "pairwise_l2",
+    "cosine_distance_matrix",
+]

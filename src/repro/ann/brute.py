@@ -1,0 +1,192 @@
+"""Exact k-nearest-neighbor index.
+
+Serves two roles: a correctness oracle for HNSW recall tests, and a drop-in
+neighbor-search backend for small datasets where exact search is cheaper
+than maintaining a graph index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann.distance import l2_distances
+
+__all__ = ["BruteForceIndex"]
+
+
+class BruteForceIndex:
+    """Flat exact index with the same interface as :class:`HNSWIndex`.
+
+    Supports incremental ``add``/``update`` keyed by integer ids, like the
+    paper's dynamically updated HNSW index (embeddings change every time a
+    sample is re-processed).
+    """
+
+    def __init__(self, dim: int, capacity: int = 1024) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self._data = np.empty((capacity, dim), dtype=np.float64)
+        self._ids: List[int] = []
+        self._slot_of: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, item_id: int) -> bool:
+        return int(item_id) in self._slot_of
+
+    @property
+    def ids(self) -> List[int]:
+        return list(self._ids)
+
+    def vector(self, item_id: int) -> np.ndarray:
+        """Return a copy of the stored vector for ``item_id``."""
+        return self._data[self._slot_of[int(item_id)]].copy()
+
+    # ------------------------------------------------------------------
+    def add(self, item_id: int, vector: np.ndarray) -> None:
+        """Insert or update a single vector."""
+        item_id = int(item_id)
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        slot = self._slot_of.get(item_id)
+        if slot is None:
+            slot = len(self._ids)
+            if slot >= self._data.shape[0]:
+                grown = np.empty((max(4, 2 * self._data.shape[0]), self.dim))
+                grown[:slot] = self._data[:slot]
+                self._data = grown
+            self._ids.append(item_id)
+            self._slot_of[item_id] = slot
+        self._data[slot] = vector
+
+    def add_batch(self, item_ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Insert or update many vectors at once."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        item_ids = np.asarray(item_ids).ravel()
+        if len(item_ids) != len(vectors):
+            raise ValueError("item_ids and vectors length mismatch")
+        for i, v in zip(item_ids, vectors):
+            self.add(int(i), v)
+
+    # ``update`` is an alias: brute-force storage overwrites in place.
+    update = add
+
+    def remove(self, item_id: int) -> None:
+        """Delete a vector by id (swap-with-last)."""
+        item_id = int(item_id)
+        slot = self._slot_of.pop(item_id)
+        last_slot = len(self._ids) - 1
+        last_id = self._ids[last_slot]
+        if slot != last_slot:
+            self._data[slot] = self._data[last_slot]
+            self._ids[slot] = last_id
+            self._slot_of[last_id] = slot
+        self._ids.pop()
+
+    # ------------------------------------------------------------------
+    def search(
+        self, query: np.ndarray, k: int, exclude: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN search.
+
+        Returns ``(ids, distances)`` sorted ascending by distance. ``exclude``
+        drops one id from the results (typically the query point itself when
+        searching for a stored sample's neighbors).
+        """
+        n = len(self._ids)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        dists = l2_distances(query, self._data[:n])
+        order = np.argsort(dists, kind="stable")
+        ids = np.asarray(self._ids, dtype=np.int64)[order]
+        dists = dists[order]
+        if exclude is not None:
+            keep = ids != int(exclude)
+            ids, dists = ids[keep], dists[keep]
+        k = min(int(k), len(ids))
+        return ids[:k], dists[:k]
+
+    def search_batch(
+        self, queries: np.ndarray, k: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact k-NN for many queries at once (one GEMM).
+
+        Returns ``(ids, dists)`` of shape ``(n_queries, k)``; rows are padded
+        with ``-1``/``inf`` when fewer than ``k`` points are stored.
+        """
+        from repro.ann.distance import l2_distance_matrix
+
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        nq = queries.shape[0]
+        n = len(self._ids)
+        k = int(k)
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_d = np.full((nq, k), np.inf)
+        if n == 0:
+            return out_ids, out_d
+        dmat = l2_distance_matrix(queries, self._data[:n])
+        ids = np.asarray(self._ids, dtype=np.int64)
+        kk = min(k, n)
+        part = np.argpartition(dmat, kk - 1, axis=1)[:, :kk]
+        pd = np.take_along_axis(dmat, part, axis=1)
+        order = np.argsort(pd, axis=1, kind="stable")
+        sorted_idx = np.take_along_axis(part, order, axis=1)
+        out_ids[:, :kk] = ids[sorted_idx]
+        out_d[:, :kk] = np.take_along_axis(dmat, sorted_idx, axis=1)
+        return out_ids, out_d
+
+    def neighbors_within_batch(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        exclude: Optional[np.ndarray] = None,
+        max_neighbors: int = 512,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Vectorized range query for many queries.
+
+        Returns one ``(ids, dists)`` pair per query, distance-sorted and
+        truncated to ``max_neighbors``. ``exclude[i]`` (if given) removes one
+        id from query ``i``'s results — used to drop self-matches when
+        queries are stored points.
+        """
+        from repro.ann.distance import l2_distance_matrix
+
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        n = len(self._ids)
+        if n == 0:
+            empty = (np.empty(0, dtype=np.int64), np.empty(0))
+            return [empty for _ in range(queries.shape[0])]
+        dmat = l2_distance_matrix(queries, self._data[:n])
+        ids = np.asarray(self._ids, dtype=np.int64)
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for qi in range(queries.shape[0]):
+            keep = dmat[qi] <= radius
+            if exclude is not None and exclude[qi] >= 0:
+                keep &= ids != int(exclude[qi])
+            rid = ids[keep]
+            rd = dmat[qi, keep]
+            order = np.argsort(rd, kind="stable")[:max_neighbors]
+            results.append((rid[order], rd[order]))
+        return results
+
+    def neighbors_within(
+        self, query: np.ndarray, radius: float, exclude: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """All stored points with distance <= ``radius`` from ``query``."""
+        n = len(self._ids)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        dists = l2_distances(query, self._data[:n])
+        ids = np.asarray(self._ids, dtype=np.int64)
+        keep = dists <= radius
+        if exclude is not None:
+            keep &= ids != int(exclude)
+        ids, dists = ids[keep], dists[keep]
+        order = np.argsort(dists, kind="stable")
+        return ids[order], dists[order]

@@ -1,0 +1,449 @@
+"""Hierarchical Navigable Small World (HNSW) index, from scratch.
+
+Implements Malkov & Yashunin (2018) — the library the paper adopts for its
+graph-based importance sampling (§4.1): "we use the HNSW library for its
+fast index construction and support for dynamic sample updates".
+
+Structure: every element gets a random top layer ``l`` drawn geometrically
+(``l = floor(-ln(U) * mL)``, ``mL = 1/ln(M)``). Each layer is a proximity
+graph; search greedily descends from the global entry point through upper
+layers, then runs a beam search (width ``ef``) at layer 0.
+
+Dynamic updates (embeddings drift as the model trains) are supported by
+re-linking: ``update`` detaches the node from all its neighbors and
+re-inserts it with its new vector, preserving its id.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.ann.distance import l2_distances
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = ["HNSWIndex"]
+
+
+class _Node:
+    """One indexed element: its vector and per-layer adjacency lists."""
+
+    __slots__ = ("vector", "neighbors", "level", "deleted")
+
+    def __init__(self, vector: np.ndarray, level: int) -> None:
+        self.vector = vector
+        self.level = level
+        # neighbors[l] is the adjacency list at layer l, for l in 0..level.
+        self.neighbors: List[List[int]] = [[] for _ in range(level + 1)]
+        self.deleted = False
+
+
+class HNSWIndex:
+    """Approximate nearest-neighbor index over L2 distance.
+
+    Parameters
+    ----------
+    dim:
+        Embedding dimensionality.
+    M:
+        Max out-degree per node on upper layers (layer 0 allows ``2*M``).
+        The paper's ``neighbormax`` normalizer (Eq. 4, default 500) is a
+        property of the *similarity graph* built on top of this index, not
+        of HNSW's ``M``.
+    ef_construction:
+        Beam width during insertion.
+    ef_search:
+        Default beam width during queries (can be overridden per call).
+    rng:
+        Seed / generator for the level draws (determinism in tests).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        M: int = 16,
+        ef_construction: int = 100,
+        ef_search: int = 50,
+        rng: RngLike = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if M < 2:
+            raise ValueError("M must be >= 2")
+        self.dim = int(dim)
+        self.M = int(M)
+        self.M0 = 2 * int(M)
+        self.ef_construction = max(int(ef_construction), M)
+        self.ef_search = int(ef_search)
+        self._mL = 1.0 / math.log(M)
+        self._rng = resolve_rng(rng)
+        self._nodes: Dict[int, _Node] = {}
+        self._entry: Optional[int] = None
+        self._max_level = -1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, item_id: int) -> bool:
+        return int(item_id) in self._nodes
+
+    @property
+    def ids(self) -> List[int]:
+        return list(self._nodes)
+
+    @property
+    def max_level(self) -> int:
+        return self._max_level
+
+    def vector(self, item_id: int) -> np.ndarray:
+        """Copy of a stored vector."""
+        return self._nodes[int(item_id)].vector.copy()
+
+    def degree(self, item_id: int, layer: int = 0) -> int:
+        """Out-degree of a node at ``layer`` (0 = base proximity graph)."""
+        node = self._nodes[int(item_id)]
+        if layer > node.level:
+            return 0
+        return len(node.neighbors[layer])
+
+    def graph_neighbors(self, item_id: int, layer: int = 0) -> List[int]:
+        """Adjacency list of a node at ``layer`` (copies, safe to mutate)."""
+        node = self._nodes[int(item_id)]
+        if layer > node.level:
+            return []
+        return list(node.neighbors[layer])
+
+    # ------------------------------------------------------------------
+    # Distance helpers
+    # ------------------------------------------------------------------
+    def _dist(self, query: np.ndarray, item_id: int) -> float:
+        v = self._nodes[item_id].vector
+        d = query - v
+        return float(math.sqrt(d @ d))
+
+    def _dists(self, query: np.ndarray, item_ids: List[int]) -> np.ndarray:
+        mat = np.stack([self._nodes[i].vector for i in item_ids])
+        return l2_distances(query, mat)
+
+    # ------------------------------------------------------------------
+    # Core search
+    # ------------------------------------------------------------------
+    def _greedy_descend(self, query: np.ndarray, start: int, top: int, stop: int) -> int:
+        """Greedy single-entry search from layer ``top`` down to ``stop+1``.
+
+        Returns the closest node found, used as the entry point for the next
+        lower layer.
+        """
+        current = start
+        cur_dist = self._dist(query, current)
+        for layer in range(top, stop, -1):
+            improved = True
+            while improved:
+                improved = False
+                neigh = self._nodes[current].neighbors[layer]
+                if not neigh:
+                    continue
+                dists = self._dists(query, neigh)
+                best = int(np.argmin(dists))
+                if dists[best] < cur_dist:
+                    cur_dist = float(dists[best])
+                    current = neigh[best]
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry: int, ef: int, layer: int
+    ) -> List[Tuple[float, int]]:
+        """Beam search at one layer; returns up to ``ef`` (dist, id) pairs,
+        sorted ascending by distance."""
+        entry_dist = self._dist(query, entry)
+        visited: Set[int] = {entry}
+        # Candidate min-heap by distance; result max-heap via negated dist.
+        candidates: List[Tuple[float, int]] = [(entry_dist, entry)]
+        results: List[Tuple[float, int]] = [(-entry_dist, entry)]
+        while candidates:
+            cand_dist, cand = heapq.heappop(candidates)
+            if cand_dist > -results[0][0] and len(results) >= ef:
+                break
+            neigh = [n for n in self._nodes[cand].neighbors[layer] if n not in visited]
+            if not neigh:
+                continue
+            visited.update(neigh)
+            dists = self._dists(query, neigh)
+            worst = -results[0][0]
+            for nid, nd in zip(neigh, dists):
+                nd = float(nd)
+                if len(results) < ef or nd < worst:
+                    heapq.heappush(candidates, (nd, nid))
+                    heapq.heappush(results, (-nd, nid))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        out = [(-d, i) for d, i in results]
+        out.sort()
+        return out
+
+    # ------------------------------------------------------------------
+    # Neighbor selection (simple heuristic from the paper's Algorithm 4)
+    # ------------------------------------------------------------------
+    def _select_neighbors(
+        self, query: np.ndarray, candidates: List[Tuple[float, int]], m: int
+    ) -> List[int]:
+        """Diversified neighbor selection: keep a candidate only if it is
+        closer to the query than to every already-selected neighbor. Falls
+        back to nearest-first fill if the heuristic under-selects."""
+        selected: List[int] = []
+        selected_vecs: List[np.ndarray] = []
+        skipped: List[int] = []
+        for dist, cid in candidates:
+            if len(selected) >= m:
+                break
+            vec = self._nodes[cid].vector
+            dominated = False
+            for sv in selected_vecs:
+                diff = vec - sv
+                if math.sqrt(diff @ diff) < dist:
+                    dominated = True
+                    break
+            if dominated:
+                skipped.append(cid)
+            else:
+                selected.append(cid)
+                selected_vecs.append(vec)
+        for cid in skipped:
+            if len(selected) >= m:
+                break
+            selected.append(cid)
+        return selected
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, item_id: int, vector: np.ndarray) -> None:
+        """Insert a new element; if ``item_id`` exists, re-link with the new
+        vector (dynamic update)."""
+        item_id = int(item_id)
+        vector = np.ascontiguousarray(np.asarray(vector, dtype=np.float64).ravel())
+        if vector.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
+        if item_id in self._nodes:
+            self._detach(item_id)
+            level = self._nodes.pop(item_id).level
+        else:
+            level = int(-math.log(max(self._rng.random(), 1e-300)) * self._mL)
+        node = _Node(vector, level)
+        self._nodes[item_id] = node
+
+        if self._entry is None:
+            self._entry = item_id
+            self._max_level = level
+            return
+
+        entry = self._entry
+        if level < self._max_level:
+            entry = self._greedy_descend(vector, entry, self._max_level, level)
+
+        for layer in range(min(level, self._max_level), -1, -1):
+            candidates = self._search_layer(vector, entry, self.ef_construction, layer)
+            m = self.M0 if layer == 0 else self.M
+            chosen = self._select_neighbors(vector, candidates, m)
+            node.neighbors[layer] = list(chosen)
+            for cid in chosen:
+                cneigh = self._nodes[cid].neighbors[layer]
+                cneigh.append(item_id)
+                limit = self.M0 if layer == 0 else self.M
+                if len(cneigh) > limit:
+                    self._prune(cid, layer, limit)
+            if candidates:
+                entry = candidates[0][1]
+
+        if level > self._max_level:
+            self._max_level = level
+            self._entry = item_id
+
+    def _prune(self, item_id: int, layer: int, limit: int) -> None:
+        """Shrink a node's adjacency list back to ``limit`` using the
+        diversified selection heuristic."""
+        node = self._nodes[item_id]
+        neigh = node.neighbors[layer]
+        dists = self._dists(node.vector, neigh)
+        order = np.argsort(dists, kind="stable")
+        cand = [(float(dists[i]), neigh[i]) for i in order]
+        node.neighbors[layer] = self._select_neighbors(node.vector, cand, limit)
+
+    def add_batch(self, item_ids: np.ndarray, vectors: np.ndarray) -> None:
+        """Insert or update many vectors sequentially."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        item_ids = np.asarray(item_ids).ravel()
+        if len(item_ids) != len(vectors):
+            raise ValueError("item_ids and vectors length mismatch")
+        for i, v in zip(item_ids, vectors):
+            self.add(int(i), v)
+
+    # ``update`` is the paper's dynamic-embedding path; add() handles both.
+    update = add
+
+    def _detach(self, item_id: int) -> None:
+        """Remove all edges pointing to ``item_id`` and repair entry point."""
+        node = self._nodes[item_id]
+        for layer in range(node.level + 1):
+            for nid in node.neighbors[layer]:
+                other = self._nodes.get(nid)
+                if other is not None and layer <= other.level:
+                    try:
+                        other.neighbors[layer].remove(item_id)
+                    except ValueError:
+                        pass
+        # Also scan for dangling one-way edges into this node. One-way edges
+        # can exist after pruning, so a full sweep keeps the graph clean.
+        for other_id, other in self._nodes.items():
+            if other_id == item_id:
+                continue
+            for layer in range(other.level + 1):
+                if item_id in other.neighbors[layer]:
+                    other.neighbors[layer].remove(item_id)
+        if self._entry == item_id:
+            self._entry = None
+            self._max_level = -1
+            for oid, other in self._nodes.items():
+                if oid != item_id and other.level > self._max_level:
+                    self._max_level = other.level
+                    self._entry = oid
+
+    def remove(self, item_id: int) -> None:
+        """Delete an element entirely."""
+        item_id = int(item_id)
+        if item_id not in self._nodes:
+            raise KeyError(item_id)
+        self._detach(item_id)
+        del self._nodes[item_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        ef: Optional[int] = None,
+        exclude: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN. Returns ``(ids, distances)`` ascending."""
+        if self._entry is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        query = np.asarray(query, dtype=np.float64).ravel()
+        ef = max(int(ef if ef is not None else self.ef_search), k)
+        entry = self._greedy_descend(query, self._entry, self._max_level, 0)
+        results = self._search_layer(query, entry, ef, 0)
+        ids = [i for _, i in results]
+        dists = [d for d, _ in results]
+        if exclude is not None:
+            pairs = [(d, i) for d, i in zip(dists, ids) if i != int(exclude)]
+            dists = [d for d, _ in pairs]
+            ids = [i for _, i in pairs]
+        k = min(int(k), len(ids))
+        return np.asarray(ids[:k], dtype=np.int64), np.asarray(dists[:k])
+
+    def neighbors_within(
+        self,
+        query: np.ndarray,
+        radius: float,
+        ef: Optional[int] = None,
+        exclude: Optional[int] = None,
+        max_neighbors: int = 512,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate range query: beam-search then filter by ``radius``.
+
+        ``max_neighbors`` caps the beam (paper's ``neighbormax``-scale bound).
+        """
+        ids, dists = self.search(query, k=max_neighbors, ef=ef, exclude=exclude)
+        keep = dists <= radius
+        return ids[keep], dists[keep]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialize the index to an ``.npz`` archive.
+
+        Stores vectors, per-node levels, flattened adjacency, and the
+        construction parameters. The RNG state is not saved: a loaded index
+        continues with fresh level draws, which only affects *future*
+        inserts' layer assignment, not correctness.
+        """
+        import json
+        from pathlib import Path
+
+        ids = list(self._nodes)
+        vectors = (
+            np.stack([self._nodes[i].vector for i in ids])
+            if ids else np.empty((0, self.dim))
+        )
+        levels = np.asarray([self._nodes[i].level for i in ids], dtype=np.int64)
+        # Flatten adjacency as (node_pos, layer, neighbor_id) triples.
+        triples = []
+        for pos, i in enumerate(ids):
+            for layer, neigh in enumerate(self._nodes[i].neighbors):
+                for nid in neigh:
+                    triples.append((pos, layer, nid))
+        adjacency = (
+            np.asarray(triples, dtype=np.int64)
+            if triples else np.empty((0, 3), dtype=np.int64)
+        )
+        header = json.dumps({
+            "dim": self.dim, "M": self.M,
+            "ef_construction": self.ef_construction,
+            "ef_search": self.ef_search,
+            "entry": self._entry, "max_level": self._max_level,
+        })
+        np.savez(
+            Path(path),
+            ids=np.asarray(ids, dtype=np.int64),
+            vectors=vectors,
+            levels=levels,
+            adjacency=adjacency,
+            header=np.frombuffer(header.encode("utf-8"), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path, rng: RngLike = None) -> "HNSWIndex":
+        """Reconstruct an index saved with :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        with np.load(Path(path)) as data:
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+            idx = cls(
+                header["dim"], M=header["M"],
+                ef_construction=header["ef_construction"],
+                ef_search=header["ef_search"], rng=rng,
+            )
+            ids = data["ids"]
+            vectors = data["vectors"]
+            levels = data["levels"]
+            for i, v, lvl in zip(ids, vectors, levels):
+                idx._nodes[int(i)] = _Node(
+                    np.ascontiguousarray(v, dtype=np.float64), int(lvl)
+                )
+            for pos, layer, nid in data["adjacency"]:
+                idx._nodes[int(ids[pos])].neighbors[int(layer)].append(int(nid))
+            idx._entry = header["entry"]
+            idx._max_level = header["max_level"]
+        return idx
+
+    def check_symmetric_reachability(self) -> float:
+        """Fraction of layer-0 edges that are bidirectional (diagnostic)."""
+        total = 0
+        sym = 0
+        for nid, node in self._nodes.items():
+            for other in node.neighbors[0]:
+                total += 1
+                if nid in self._nodes[other].neighbors[0]:
+                    sym += 1
+        return sym / total if total else 1.0

@@ -1,0 +1,18 @@
+"""Published comparator policies: SHADE, iCache, CoorDL, LRU baseline."""
+
+from repro.baselines.baseline import ClassicCachePolicy, LFUPolicy, LRUBaselinePolicy
+from repro.baselines.coordl import CoorDLPolicy
+from repro.baselines.gradnorm import GradNormISPolicy
+from repro.baselines.icache import ICacheFullPolicy, ICacheImpPolicy
+from repro.baselines.shade import ShadePolicy
+
+__all__ = [
+    "ClassicCachePolicy",
+    "LRUBaselinePolicy",
+    "LFUPolicy",
+    "CoorDLPolicy",
+    "ShadePolicy",
+    "ICacheImpPolicy",
+    "ICacheFullPolicy",
+    "GradNormISPolicy",
+]

@@ -1,0 +1,80 @@
+"""Classic-cache baselines: random sampling over LRU/LFU/FIFO.
+
+The paper's end-to-end "Baseline" is exactly random sampling + LRU; Fig. 3(b)
+additionally sweeps LFU. Random sampling visits every sample once per epoch
+in fresh random order, which destroys the reuse locality these policies need
+— the effect the whole paper is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+import numpy as np
+
+from repro.cache.base import Cache, CacheStats
+from repro.cache.lfu import LFUCache
+from repro.cache.lru import LRUCache
+from repro.core.semantic_cache import FetchOutcome, FetchSource
+from repro.train.policy_base import PolicyContext, TrainingPolicy
+from repro.utils.rng import RngLike
+
+__all__ = ["ClassicCachePolicy", "LRUBaselinePolicy", "LFUPolicy"]
+
+
+class ClassicCachePolicy(TrainingPolicy):
+    """Random sampling + a pluggable classic cache (demand-fill on miss)."""
+
+    def __init__(
+        self,
+        cache_cls: Type[Cache],
+        cache_fraction: float = 0.2,
+        name: str | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        if not 0.0 <= cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in [0, 1]")
+        self.cache_cls = cache_cls
+        self.cache_fraction = float(cache_fraction)
+        if name is not None:
+            self.name = name
+        else:
+            self.name = f"{cache_cls.__name__.replace('Cache', '').lower()}-baseline"
+        self.cache: Cache | None = None
+
+    def setup(self, ctx: PolicyContext) -> None:
+        """Build the cache sized to ``cache_fraction`` of the dataset."""
+        super().setup(ctx)
+        capacity = int(round(self.cache_fraction * ctx.num_samples))
+        self.cache = self.cache_cls(capacity)
+
+    def fetch(self, index: int) -> FetchOutcome:
+        """Serve from the cache, demand-filling from storage on miss."""
+        assert self.cache is not None
+        ctx = self._require_ctx()
+        payload = self.cache.get(index)
+        if payload is not None:
+            return FetchOutcome(index, index, payload, FetchSource.IMPORTANCE)
+        payload = ctx.store.get(index)
+        self.cache.put(index, payload)
+        return FetchOutcome(index, index, payload, FetchSource.REMOTE)
+
+    def stats(self) -> CacheStats:
+        """The underlying cache's counters."""
+        assert self.cache is not None
+        return self.cache.stats
+
+
+class LRUBaselinePolicy(ClassicCachePolicy):
+    """The paper's Baseline: LRU eviction + random sampling."""
+
+    def __init__(self, cache_fraction: float = 0.2, rng: RngLike = None) -> None:
+        super().__init__(LRUCache, cache_fraction, name="baseline-lru", rng=rng)
+
+
+class LFUPolicy(ClassicCachePolicy):
+    """LFU eviction + random sampling (Fig. 3(b))."""
+
+    def __init__(self, cache_fraction: float = 0.2, rng: RngLike = None) -> None:
+        super().__init__(LFUCache, cache_fraction, name="lfu", rng=rng)

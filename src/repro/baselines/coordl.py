@@ -1,0 +1,24 @@
+"""CoorDL policy (Mohan et al., 2020).
+
+Random sampling plus the MinIO static cache: the cache fills during the
+first epoch and never changes afterwards, yielding a hit ratio equal to the
+cache fraction in steady state — the best any policy can do under pure
+random sampling, and the floor every IS-aware policy must beat.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.baseline import ClassicCachePolicy
+from repro.cache.minio import MinIOCache
+from repro.utils.rng import RngLike
+
+__all__ = ["CoorDLPolicy"]
+
+
+class CoorDLPolicy(ClassicCachePolicy):
+    """Random sampling + MinIO static cache (CoorDL)."""
+
+    name = "coordl"
+
+    def __init__(self, cache_fraction: float = 0.2, rng: RngLike = None) -> None:
+        super().__init__(MinIOCache, cache_fraction, name="coordl", rng=rng)

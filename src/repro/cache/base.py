@@ -1,0 +1,123 @@
+"""Cache interface and hit/miss accounting.
+
+Capacity is measured in *items*, matching the paper's "cache size as a
+percentage of the dataset" framing (all samples in one dataset have equal
+size). ``CacheStats`` also tracks *substitute hits* — requests served with a
+different-but-similar sample via the Homophily Cache, which the paper counts
+toward the total hit ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Cache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for hit-ratio reporting."""
+
+    hits: int = 0
+    misses: int = 0
+    substitute_hits: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.substitute_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Total hit ratio including substitute hits; 0.0 when idle."""
+        req = self.requests
+        if req == 0:
+            return 0.0
+        return (self.hits + self.substitute_hits) / req
+
+    @property
+    def exact_hit_ratio(self) -> float:
+        """Hit ratio counting only exact (non-substitute) hits."""
+        req = self.requests
+        if req == 0:
+            return 0.0
+        return self.hits / req
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = 0
+        self.misses = 0
+        self.substitute_hits = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Add another stats object's counters into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.substitute_hits += other.substitute_hits
+        self.evictions += other.evictions
+        self.insertions += other.insertions
+
+
+class Cache:
+    """Abstract keyed cache with item-count capacity.
+
+    Subclasses implement ``_lookup`` (policy bookkeeping on access) and
+    ``_insert``/``_evict_one``. ``get``/``put`` maintain the shared stats.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+
+    # -- required policy hooks -----------------------------------------
+    def _lookup(self, key: Any) -> Optional[Any]:
+        raise NotImplementedError
+
+    def _insert(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def _evict_one(self) -> Any:
+        """Remove one item per policy; returns the evicted key."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __contains__(self, key: Any) -> bool:
+        raise NotImplementedError
+
+    # -- shared interface ----------------------------------------------
+    def get(self, key: Any) -> Optional[Any]:
+        """Return the cached value or ``None``; updates stats."""
+        value = self._lookup(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert ``key``; evicts per policy when at capacity.
+
+        A zero-capacity cache silently drops all inserts.
+        """
+        if self.capacity == 0:
+            return
+        if key in self:
+            self._insert(key, value)  # refresh in place
+            return
+        while len(self) >= self.capacity:
+            self._evict_one()
+            self.stats.evictions += 1
+        self._insert(key, value)
+        self.stats.insertions += 1
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity

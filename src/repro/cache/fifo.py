@@ -1,0 +1,55 @@
+"""First-in-first-out cache.
+
+The Homophily Cache "uses a FIFO update strategy, which ensures that all
+samples are regularly replaced, thereby fostering greater diversity"
+(paper §4.2). This class provides the underlying queue semantics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+from repro.cache.base import Cache
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(Cache):
+    """Evicts in insertion order; lookups do not affect ordering."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._items: OrderedDict[Any, Any] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def _lookup(self, key: Any) -> Optional[Any]:
+        return self._items.get(key)
+
+    def _insert(self, key: Any, value: Any) -> None:
+        # Refreshing an existing key keeps its original queue position.
+        self._items[key] = value
+
+    def _evict_one(self) -> Any:
+        key, _ = self._items.popitem(last=False)
+        return key
+
+    def oldest(self) -> Optional[Tuple[Any, Any]]:
+        """Peek the next-to-evict entry."""
+        if not self._items:
+            return None
+        key = next(iter(self._items))
+        return key, self._items[key]
+
+    def keys(self):
+        """Resident keys in insertion (eviction) order."""
+        return list(self._items.keys())
+
+    def items(self):
+        """Resident ``(key, value)`` pairs in insertion order."""
+        return list(self._items.items())

@@ -1,0 +1,74 @@
+"""Least-frequently-used cache (Fig. 3(b) baseline).
+
+O(1) LFU via frequency buckets of ordered dicts: ties within a frequency are
+broken LRU-first, matching common LFU implementations.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from typing import Any, Dict, Optional
+
+from repro.cache.base import Cache
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(Cache):
+    """Least-frequently-used cache with O(1) operations."""
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._values: Dict[Any, Any] = {}
+        self._freq: Dict[Any, int] = {}
+        self._buckets: Dict[int, OrderedDict] = defaultdict(OrderedDict)
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._values
+
+    def _bump(self, key: Any) -> None:
+        f = self._freq[key]
+        del self._buckets[f][key]
+        if not self._buckets[f]:
+            del self._buckets[f]
+            if self._min_freq == f:
+                self._min_freq = f + 1
+        self._freq[key] = f + 1
+        self._buckets[f + 1][key] = None
+
+    def _lookup(self, key: Any) -> Optional[Any]:
+        if key not in self._values:
+            return None
+        self._bump(key)
+        return self._values[key]
+
+    def _insert(self, key: Any, value: Any) -> None:
+        if key in self._values:
+            self._values[key] = value
+            self._bump(key)
+            return
+        self._values[key] = value
+        self._freq[key] = 1
+        self._buckets[1][key] = None
+        self._min_freq = 1
+
+    def _evict_one(self) -> Any:
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.popitem(last=False)
+        if not bucket:
+            del self._buckets[self._min_freq]
+        del self._values[key]
+        del self._freq[key]
+        return key
+
+    def frequency(self, key: Any) -> int:
+        """Current access count of a cached key (KeyError if absent)."""
+        return self._freq[key]
+
+    def keys(self):
+        """Resident keys (arbitrary order)."""
+        return list(self._values.keys())

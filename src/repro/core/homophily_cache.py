@@ -1,0 +1,133 @@
+"""Homophily Cache (paper §4.2-2).
+
+Stores high-degree graph nodes together with their neighbor-ID lists. A
+request for sample ``i`` that appears in some cached node's neighbor list is
+served that node's payload *as a substitute* — semantically similar samples
+"generally have similar effects on model accuracy", so the substitution
+saves a remote fetch at negligible accuracy cost.
+
+Updates are FIFO and happen once per batch with the batch's highest-degree
+node ("this ensures that all samples are regularly replaced, thereby
+fostering greater diversity in the training data").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.cache.base import CacheStats
+
+__all__ = ["HomophilyCache"]
+
+
+class HomophilyCache:
+    """FIFO cache of (high-degree node, payload, neighbor-ID list)."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        # key -> (payload, neighbor id tuple); OrderedDict gives FIFO order.
+        self._entries: OrderedDict[int, Tuple[Any, Tuple[int, ...]]] = OrderedDict()
+        # neighbor id -> set of cached node keys listing it.
+        self._neighbor_of: Dict[int, Set[int]] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    # ------------------------------------------------------------------
+    def covers(self, index: int) -> bool:
+        """True if ``index`` appears in any cached node's neighbor list
+        (Alg. 1 line 7: ``neighbor_list.contains(index)``)."""
+        return index in self._neighbor_of or index in self._entries
+
+    def lookup(self, index: int) -> Optional[Tuple[int, Any]]:
+        """Serve ``index`` by substitution (Fig. 9 case 3).
+
+        Returns ``(node_key, payload)`` of the covering high-degree node —
+        the *most recently inserted* cover, whose embedding neighborhood is
+        freshest — or ``None``. Records a substitute hit or miss.
+        """
+        if index in self._entries:
+            # The high-degree node itself was requested: an exact hit.
+            self.stats.hits += 1
+            return index, self._entries[index][0]
+        covers = self._neighbor_of.get(index)
+        if not covers:
+            self.stats.misses += 1
+            return None
+        # Most recent insert among the covering nodes.
+        for key in reversed(self._entries):
+            if key in covers:
+                self.stats.substitute_hits += 1
+                return key, self._entries[key][0]
+        raise AssertionError("neighbor map out of sync with entries")
+
+    # ------------------------------------------------------------------
+    def update(self, key: int, payload: Any, neighbor_ids: List[int]) -> bool:
+        """Insert the batch's top-degree node (Alg. 1 line 22), FIFO-evicting.
+
+        A node already cached is skipped (the paper only inserts nodes "not
+        previously in the Homophily Cache"). Returns True if inserted.
+        """
+        if self.capacity == 0:
+            return False
+        key = int(key)
+        if key in self._entries:
+            return False
+        while len(self._entries) >= self.capacity:
+            self._evict_oldest()
+        neigh = tuple(int(n) for n in neighbor_ids)
+        self._entries[key] = (payload, neigh)
+        for n in neigh:
+            self._neighbor_of.setdefault(n, set()).add(key)
+        self.stats.insertions += 1
+        return True
+
+    def _evict_oldest(self) -> int:
+        key, (_, neigh) = self._entries.popitem(last=False)
+        for n in neigh:
+            owners = self._neighbor_of.get(n)
+            if owners is not None:
+                owners.discard(key)
+                if not owners:
+                    del self._neighbor_of[n]
+        self.stats.evictions += 1
+        return key
+
+    def shrink_to(self, capacity: int) -> List[int]:
+        """Reduce capacity, evicting oldest entries first."""
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        evicted = []
+        while len(self._entries) > capacity:
+            evicted.append(self._evict_oldest())
+        self.capacity = capacity
+        return evicted
+
+    def grow_to(self, capacity: int) -> None:
+        """Raise capacity (no eviction needed)."""
+        if capacity < self.capacity:
+            raise ValueError("grow_to cannot shrink; use shrink_to")
+        self.capacity = capacity
+
+    # ------------------------------------------------------------------
+    def keys(self) -> List[int]:
+        """Cached high-degree node ids in FIFO order."""
+        return list(self._entries.keys())
+
+    def neighbor_list(self, key: int) -> Tuple[int, ...]:
+        """Neighbor IDs stored with a cached node (KeyError if absent)."""
+        return self._entries[key][1]
+
+    @property
+    def covered_count(self) -> int:
+        """Number of distinct sample ids currently servable (nodes + neighbors)."""
+        covered = set(self._neighbor_of)
+        covered.update(self._entries)
+        return len(covered)

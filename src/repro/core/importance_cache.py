@@ -1,0 +1,118 @@
+"""Importance Cache (paper §4.2-1).
+
+"A min-heap manages the cache, evicting the least important samples when
+full." Admission happens only after a full miss (paper: "The Importance
+Cache is updated only when a sample misses both caches and is fetched from
+remote storage"): the incoming sample enters iff the cache has room, or its
+score beats the current minimum (Fig. 9 cases 2 vs 4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.base import CacheStats
+from repro.utils.heap import IndexedMinHeap
+
+__all__ = ["ImportanceCache"]
+
+
+class ImportanceCache:
+    """Score-ordered cache over an indexed min-heap."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = int(capacity)
+        self._heap = IndexedMinHeap()
+        self._values: Dict[int, Any] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._values
+
+    def get(self, key: int) -> Optional[Any]:
+        """Cached payload or ``None`` (records hit/miss)."""
+        value = self._values.get(key)
+        if value is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return value
+
+    def min_score(self) -> Optional[float]:
+        """Score of the least-important resident, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap.min_priority()
+
+    def admit(self, key: int, value: Any, score: float) -> bool:
+        """Offer a freshly fetched sample (Fig. 9 cases 2/4).
+
+        Returns True if the sample was cached (possibly evicting the current
+        minimum), False if rejected for scoring below the minimum.
+        """
+        if self.capacity == 0:
+            return False
+        if key in self._values:
+            # Already resident: refresh payload and score.
+            self._values[key] = value
+            self._heap.update(key, score)
+            return True
+        if len(self._values) < self.capacity:
+            self._heap.push(key, score)
+            self._values[key] = value
+            self.stats.insertions += 1
+            return True
+        if score <= self._heap.min_priority():
+            return False
+        _, evicted = self._heap.pop()
+        del self._values[evicted]
+        self.stats.evictions += 1
+        self._heap.push(key, score)
+        self._values[key] = value
+        self.stats.insertions += 1
+        return True
+
+    def update_score(self, key: int, score: float) -> None:
+        """Refresh a resident's priority after a global-score update.
+
+        No-op for absent keys (scores update for many samples per batch,
+        only some of which are cached).
+        """
+        if key in self._values:
+            self._heap.update(key, score)
+
+    def shrink_to(self, capacity: int) -> List[int]:
+        """Reduce capacity, evicting least-important residents first.
+
+        Returns evicted keys (the Elastic Cache Manager reallocates their
+        space to the Homophily Cache).
+        """
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        evicted = []
+        while len(self._values) > capacity:
+            _, key = self._heap.pop()
+            del self._values[key]
+            self.stats.evictions += 1
+            evicted.append(key)
+        self.capacity = capacity
+        return evicted
+
+    def grow_to(self, capacity: int) -> None:
+        """Raise capacity (no eviction needed)."""
+        if capacity < self.capacity:
+            raise ValueError("grow_to cannot shrink; use shrink_to")
+        self.capacity = capacity
+
+    def keys(self) -> List[int]:
+        """Resident sample ids (arbitrary order)."""
+        return list(self._values.keys())
+
+    def scores_snapshot(self) -> List[Tuple[int, float]]:
+        """(key, score) for all residents (diagnostics)."""
+        return [(k, self._heap.priority(k)) for k in self._values]

@@ -1,0 +1,298 @@
+"""SpiderCachePolicy: Algorithm 1 end to end.
+
+Ties together the graph-based IS algorithm (§4.1), the semantic-aware
+two-layer cache (§4.2), and the elastic cache manager (§4.3) behind the
+trainer's policy protocol:
+
+* ``epoch_order`` — multinomial draw over global importance scores
+  (Alg. 1's ``torch.multinomial`` sampling);
+* ``fetch`` — importance cache → homophily neighbor lists → remote
+  (Alg. 1 lines 4-12);
+* ``after_batch`` — update the ANN index with fresh embeddings, recompute
+  scores, refresh the importance heap, insert the batch's top-degree node
+  into the homophily cache (lines 15-22);
+* ``after_epoch`` — snapshot score dispersion and let the elastic manager
+  re-split the cache (line 24).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.core.elastic import ElasticCacheManager
+from repro.core.graph_is import GraphImportanceScorer
+from repro.core.sampler import MultinomialSampler
+from repro.core.scores import GlobalScoreTable
+from repro.core.semantic_cache import FetchOutcome, SemanticCache
+from repro.train.policy_base import PolicyContext, TrainingPolicy
+from repro.utils.rng import RngLike
+
+__all__ = ["SpiderCachePolicy"]
+
+
+class SpiderCachePolicy(TrainingPolicy):
+    """The full SpiderCache strategy.
+
+    Parameters
+    ----------
+    cache_fraction:
+        Total cache budget as a fraction of the dataset (paper uses 10-75%).
+        ``0`` disables caching entirely (the Fig. 13 IS-only configuration).
+    lam, alpha, neighbormax:
+        Graph-construction hyperparameters (Eq. 2-4).
+    r_start, r_end:
+        Elastic imp-ratio endpoints; paper recommends 0.9 -> 0.8. Setting
+        ``elastic=False`` pins the ratio at ``r_start`` (the static
+        "Imp-Ratio 90%" configuration of §6.5).
+    backend:
+        Neighbor-search backend, ``"exact"`` or ``"hnsw"``.
+    """
+
+    name = "spidercache"
+
+    #: §6.5: "the Imp-Ratio is adjustable, allowing users to prioritize
+    #: accuracy with a higher ratio or speed with a lower one."
+    GOALS = {
+        "accuracy": dict(r_start=0.9, r_end=0.9, elastic=False,
+                         hom_neighbor_limit=8, hom_radius_scale=0.5),
+        "balanced": dict(r_start=0.9, r_end=0.8, elastic=True),
+        "speed": dict(r_start=0.9, r_end=0.5, elastic=True,
+                      hom_neighbor_limit=32, hom_radius_scale=0.9),
+    }
+
+    @classmethod
+    def from_goal(cls, goal: str, cache_fraction: float = 0.2,
+                  rng: RngLike = None, **overrides) -> "SpiderCachePolicy":
+        """Build a policy tuned for a user goal.
+
+        ``goal`` is ``"accuracy"`` (static high imp-ratio, conservative
+        substitution), ``"balanced"`` (the paper's recommended 90%->80%
+        annealing), or ``"speed"`` (aggressive 90%->50% annealing with a
+        larger, looser homophily section). Keyword overrides win over the
+        preset.
+        """
+        if goal not in cls.GOALS:
+            raise KeyError(f"unknown goal {goal!r}; choose from {sorted(cls.GOALS)}")
+        kwargs = dict(cls.GOALS[goal])
+        kwargs.update(overrides)
+        return cls(cache_fraction=cache_fraction, rng=rng, **kwargs)
+
+    def __init__(
+        self,
+        cache_fraction: float = 0.2,
+        lam: float = 1.0,
+        alpha: float = 0.1,
+        neighbormax: int = 500,
+        r_start: float = 0.9,
+        r_end: float = 0.8,
+        elastic: bool = True,
+        gamma: float = 0.01,
+        backend: str = "exact",
+        hom_neighbor_limit: int = 16,
+        hom_same_class_only: bool = True,
+        hom_radius_scale: float = 0.75,
+        uniform_mix: float = 0.1,
+        score_floor: float = 0.1,
+        prefetch_fraction: float = 0.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(rng=rng)
+        if not 0.0 <= cache_fraction <= 1.0:
+            raise ValueError("cache_fraction must be in [0, 1]")
+        if hom_neighbor_limit < 1:
+            raise ValueError("hom_neighbor_limit must be >= 1")
+        if not 0.0 <= uniform_mix <= 1.0:
+            raise ValueError("uniform_mix must be in [0, 1]")
+        self.cache_fraction = float(cache_fraction)
+        if not 0.0 < hom_radius_scale <= 1.0:
+            raise ValueError("hom_radius_scale must be in (0, 1]")
+        # Substitution safety: a Homophily entry only covers its *closest*
+        # ``hom_neighbor_limit`` neighbors, only same-class ones (by
+        # default), and only those within ``hom_radius_scale`` of the edge
+        # radius — "replacing them with similar counterparts" (§4.2) means
+        # near-duplicates, not everything the IS graph connects. Loose
+        # settings trade accuracy for hit ratio (ablation A3).
+        self.hom_neighbor_limit = int(hom_neighbor_limit)
+        self.hom_same_class_only = bool(hom_same_class_only)
+        self.hom_radius_scale = float(hom_radius_scale)
+        # Sampling temper: p = uniform_mix * uniform + (1-mix) * score-
+        # weighted. Keeps per-epoch coverage high so importance sampling's
+        # focus on hard samples doesn't starve the easy majority (standard
+        # IS variance-control practice; the paper's torch.multinomial call
+        # leaves the weighting to the scores, which Eq. 4's log already
+        # tempers on the 50k-sample datasets it was tuned for).
+        self.uniform_mix = float(uniform_mix)
+        if not 0.0 <= score_floor <= 1.0:
+            raise ValueError("score_floor must be in [0, 1]")
+        self.score_floor = float(score_floor)
+        # Prefetching (paper §4.2: "Eviction and prefetching are driven by
+        # sample importance scores"): at each epoch start, up to this
+        # fraction of the Importance Cache's capacity is refilled with the
+        # top-scored uncached samples. The fetch latency is charged like any
+        # other remote read (prefetches are real I/O).
+        if not 0.0 <= prefetch_fraction <= 1.0:
+            raise ValueError("prefetch_fraction must be in [0, 1]")
+        self.prefetch_fraction = float(prefetch_fraction)
+        self.prefetch_count = 0
+        self.lam = lam
+        self.alpha = alpha
+        self.neighbormax = neighbormax
+        self.r_start = r_start
+        self.r_end = r_end
+        self.elastic = elastic
+        self.gamma = gamma
+        self.backend = backend
+        # Built in setup():
+        self.scorer: Optional[GraphImportanceScorer] = None
+        self.score_table: Optional[GlobalScoreTable] = None
+        self.cache: Optional[SemanticCache] = None
+        self.manager: Optional[ElasticCacheManager] = None
+        self.sampler: Optional[MultinomialSampler] = None
+
+    # ------------------------------------------------------------------
+    def setup(self, ctx: PolicyContext) -> None:
+        super().setup(ctx)
+        n = ctx.num_samples
+        self.score_table = GlobalScoreTable(n)
+        self.scorer = GraphImportanceScorer(
+            dim=ctx.embedding_dim,
+            labels=ctx.dataset.y,
+            lam=self.lam,
+            alpha=self.alpha,
+            neighbormax=self.neighbormax,
+            backend=self.backend,
+        )
+        capacity = int(round(self.cache_fraction * n))
+        self.cache = SemanticCache(capacity, imp_ratio=self.r_start)
+        self.manager = ElasticCacheManager(
+            total_epochs=ctx.total_epochs,
+            r_start=self.r_start,
+            r_end=self.r_end,
+            gamma=self.gamma,
+        )
+        self.sampler = MultinomialSampler(
+            n, weight_fn=self._mixed_weights, rng=self._rng
+        )
+
+    def _mixed_weights(self) -> np.ndarray:
+        assert self.score_table is not None
+        # Relative floor bounds the oversampling ratio: no sample is drawn
+        # less than score_floor x as often as the current maximum. Plays the
+        # same variance-control role as SHADE's rank floor.
+        scores = np.asarray(self.score_table.scores, dtype=np.float64)
+        floored = np.maximum(scores, self.score_floor * scores.max())
+        w = floored / floored.sum()
+        return self.uniform_mix / w.shape[0] + (1.0 - self.uniform_mix) * w
+
+    # ------------------------------------------------------------------
+    def before_epoch(self, epoch: int) -> None:
+        """Importance-driven prefetch into the Importance Cache."""
+        if self.prefetch_fraction == 0.0 or epoch == 0:
+            return  # no scores yet at epoch 0
+        assert self.cache is not None and self.score_table is not None
+        ctx = self._require_ctx()
+        imp = self.cache.importance
+        budget = int(self.prefetch_fraction * imp.capacity)
+        if budget <= 0:
+            return
+        order = np.argsort(self.score_table.scores)[::-1]
+        fetched = 0
+        for idx in order:
+            if fetched >= budget:
+                break
+            idx = int(idx)
+            if idx in imp:
+                continue
+            score = self.score_table.get(idx)
+            floor = imp.min_score()
+            if len(imp) >= imp.capacity and floor is not None and score <= floor:
+                break  # remaining candidates score even lower
+            payload = ctx.store.get(idx)  # real I/O, charges latency
+            if imp.admit(idx, payload, score):
+                fetched += 1
+                self.prefetch_count += 1
+            else:
+                break
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        assert self.sampler is not None
+        return self.sampler.epoch_order(epoch)
+
+    def fetch(self, index: int) -> FetchOutcome:
+        assert self.cache is not None and self.score_table is not None
+        ctx = self._require_ctx()
+        return self.cache.fetch(
+            int(index), self.score_table.get(int(index)), ctx.store.get
+        )
+
+    def after_batch(
+        self,
+        requested: np.ndarray,
+        served: np.ndarray,
+        losses: np.ndarray,
+        embeddings: np.ndarray,
+        epoch: int,
+    ) -> None:
+        assert self.scorer is not None and self.score_table is not None
+        assert self.cache is not None
+        ctx = self._require_ctx()
+        # Embeddings describe the samples actually trained on (homophily
+        # substitutions replace the payload, so index under the served id).
+        # With-replacement sampling can repeat an id within a batch; keep the
+        # last occurrence of each.
+        served = np.asarray(served, dtype=np.int64)
+        _, last_pos = np.unique(served[::-1], return_index=True)
+        pos = len(served) - 1 - last_pos
+        uniq_ids = served[pos]
+        node_scores = self.scorer.score_batch(uniq_ids, embeddings[pos])
+
+        ids = np.asarray([ns.index for ns in node_scores])
+        scores = np.asarray([ns.score for ns in node_scores])
+        self.score_table.update(ids, scores, epoch=epoch)
+        for ns in node_scores:
+            self.cache.update_score(ns.index, ns.score)
+
+        top = self.scorer.top_degree_node(node_scores)
+        if top is not None and top.degree > 0 and top.index not in self.cache.homophily:
+            neigh = top.neighbor_ids
+            # Near-duplicates only: inside a fraction of the edge radius...
+            keep = top.neighbor_dists <= self.hom_radius_scale * self.scorer.radius
+            neigh = neigh[keep]
+            # ...and same-class (substitutes must not change the label).
+            if self.hom_same_class_only:
+                neigh = neigh[ctx.dataset.y[neigh] == ctx.dataset.y[top.index]]
+            neigh = neigh[: self.hom_neighbor_limit]  # range results are sorted
+            if neigh.size:
+                # ``embeddings`` rows are activations; the cache must hold
+                # the *input* payload. The sample was resident in memory this
+                # batch, so reading it charges no simulated latency (peek).
+                payload = ctx.store.peek(top.index)
+                self.cache.update_homophily(top.index, payload, neigh.tolist())
+
+    def after_epoch(self, epoch: int, val_accuracy: float) -> None:
+        assert self.score_table is not None and self.manager is not None
+        assert self.cache is not None
+        std = self.score_table.snapshot_std()
+        if self.elastic:
+            ratio = self.manager.step(epoch, std, val_accuracy)
+            self.cache.set_imp_ratio(ratio)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        assert self.cache is not None
+        return self.cache.stats
+
+    @property
+    def is_ms_per_batch(self) -> Optional[float]:
+        """Graph-based IS cost scales with the model's embedding dimension
+        (Table 1); ``None`` defers to the model spec's value."""
+        return None
+
+    @property
+    def imp_ratio(self) -> Optional[float]:
+        if self.cache is None:
+            return None
+        return self.cache.imp_ratio

@@ -1,0 +1,85 @@
+"""Epoch samplers.
+
+``MultinomialSampler`` is the paper's biased draw ("using the biased
+sampling method torch.multinomial from PyTorch", §4.1): each epoch draws
+``n`` sample ids *with replacement*, weighted by importance — so important
+samples repeat within an epoch (the Fig.-5 frequency skew that makes
+importance-aware caching work). ``UniformSampler`` is the random-shuffle
+default; ``SequentialSampler`` is for deterministic tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = ["UniformSampler", "SequentialSampler", "MultinomialSampler"]
+
+
+class UniformSampler:
+    """Random permutation per epoch (PyTorch's default shuffle)."""
+
+    def __init__(self, n_samples: int, rng: RngLike = None) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+        self._rng = resolve_rng(rng)
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """Fresh random permutation of all sample ids."""
+        return self._rng.permutation(self.n_samples)
+
+
+class SequentialSampler:
+    """Identity order every epoch."""
+
+    def __init__(self, n_samples: int) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """Identity order ``0..n-1``."""
+        return np.arange(self.n_samples)
+
+
+class MultinomialSampler:
+    """Weighted with-replacement epoch sampler.
+
+    ``weight_fn`` is called once per epoch and must return an unnormalized
+    non-negative weight vector of length ``n_samples`` (e.g.
+    :meth:`GlobalScoreTable.sampling_weights`). ``epoch_size`` defaults to
+    the dataset size, matching one-pass epochs.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        weight_fn: Callable[[], np.ndarray],
+        epoch_size: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        self.n_samples = int(n_samples)
+        self.epoch_size = int(epoch_size) if epoch_size else int(n_samples)
+        self.weight_fn = weight_fn
+        self._rng = resolve_rng(rng)
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """Draw ``epoch_size`` ids with replacement, weighted."""
+        w = np.asarray(self.weight_fn(), dtype=np.float64)
+        if w.shape[0] != self.n_samples:
+            raise ValueError("weight_fn returned wrong length")
+        if np.any(w < 0):
+            raise ValueError("weights must be non-negative")
+        total = w.sum()
+        if total <= 0:
+            # Degenerate weights: fall back to uniform.
+            p = np.full(self.n_samples, 1.0 / self.n_samples)
+        else:
+            p = w / total
+        return self._rng.choice(self.n_samples, size=self.epoch_size, replace=True, p=p)

@@ -1,0 +1,111 @@
+"""Global importance-score table.
+
+The paper's central claim (Motivation 1) is that cache management needs
+importance scores comparable *globally* — across batches and epochs — which
+loss-based IS cannot provide. This table is that global state: one score per
+sample, updated whenever a sample is processed, with enough history to feed
+the Elastic Cache Manager's Importance Monitor (the std-dev trajectory of
+Fig. 6(c)).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["GlobalScoreTable"]
+
+
+class GlobalScoreTable:
+    """Per-sample importance scores with staleness stamps.
+
+    Scores start at ``initial_score`` (> 0 so unseen samples still get
+    sampled; the paper's IS "does not update every sample's score in each
+    epoch"). ``snapshot_std`` records the dispersion of the current scores —
+    called once per epoch, this produces the Fig. 6(c) std trajectory.
+    """
+
+    def __init__(self, n_samples: int, initial_score: float = 1.0) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if initial_score <= 0:
+            raise ValueError("initial_score must be positive for sampling")
+        self.n_samples = int(n_samples)
+        self._scores = np.full(n_samples, float(initial_score))
+        self._last_update_epoch = np.full(n_samples, -1, dtype=np.int64)
+        self._ever_updated = np.zeros(n_samples, dtype=bool)
+        self.std_history: List[float] = []
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Read-only view of current scores."""
+        view = self._scores.view()
+        view.flags.writeable = False
+        return view
+
+    def get(self, index: int) -> float:
+        """Current score of one sample."""
+        return float(self._scores[index])
+
+    def update(self, indices: np.ndarray, scores: np.ndarray, epoch: int = 0) -> None:
+        """Write new scores for the given samples."""
+        indices = np.asarray(indices, dtype=np.int64)
+        scores = np.asarray(scores, dtype=np.float64)
+        if indices.shape != scores.shape:
+            raise ValueError("indices and scores must align")
+        if np.any(scores < 0):
+            raise ValueError("importance scores must be non-negative")
+        self._scores[indices] = scores
+        self._last_update_epoch[indices] = epoch
+        self._ever_updated[indices] = True
+
+    def staleness(self, epoch: int) -> np.ndarray:
+        """Epochs since each sample's score was last refreshed.
+
+        Never-updated samples report ``epoch + 1``.
+        """
+        return epoch - self._last_update_epoch
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of samples whose score has ever been computed."""
+        return float(self._ever_updated.mean())
+
+    def sampling_weights(self, floor: float = 1e-6) -> np.ndarray:
+        """Normalized multinomial weights (floored so no sample starves)."""
+        w = np.maximum(self._scores, floor)
+        return w / w.sum()
+
+    def snapshot_std(self) -> float:
+        """Record and return the current score standard deviation.
+
+        Only scores that have been computed at least once enter the
+        statistic; before any update it falls back to all scores (zero std).
+        """
+        if self._ever_updated.any():
+            std = float(self._scores[self._ever_updated].std())
+        else:
+            std = float(self._scores.std())
+        self.std_history.append(std)
+        return std
+
+    def recent_std_slope(self, window: int = 5) -> Optional[float]:
+        """Least-squares slope over the last ``window`` std snapshots.
+
+        Returns ``None`` until enough history exists. This is the
+        d(sigma)/dt the Importance Monitor thresholds (Eq. 5).
+        """
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        h = self.std_history
+        if len(h) < window:
+            return None
+        y = np.asarray(h[-window:])
+        x = np.arange(window, dtype=np.float64)
+        x -= x.mean()
+        denom = float(x @ x)
+        return float(x @ (y - y.mean()) / denom)

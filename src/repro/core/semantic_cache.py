@@ -1,0 +1,153 @@
+"""Semantic-aware Cache Mechanism (paper §4.2, Fig. 9).
+
+Composes the Importance Cache and the Homophily Cache behind one fetch
+protocol. The two layers are exclusive — no data exchange between them —
+and lookups follow Fig. 9(b):
+
+1. probe the Importance Cache (case 1: exact hit);
+2. probe the Homophily Cache neighbor lists (case 3: substitute hit);
+3. fetch from remote storage, then offer the sample to the Importance
+   Cache, which admits it iff its importance beats the current minimum
+   (cases 2 and 4).
+
+The Homophily Cache is refreshed separately, once per batch, with the
+batch's top-degree node (:meth:`update_homophily`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, List, Optional
+
+from repro.cache.base import CacheStats
+from repro.core.homophily_cache import HomophilyCache
+from repro.core.importance_cache import ImportanceCache
+
+__all__ = ["SemanticCache", "FetchSource", "FetchOutcome"]
+
+
+class FetchSource(str, Enum):
+    """Where a request was served from."""
+
+    IMPORTANCE = "importance"
+    HOMOPHILY = "homophily"
+    REMOTE = "remote"
+
+
+@dataclass
+class FetchOutcome:
+    """Result of one sample fetch through the cache hierarchy.
+
+    ``served_id`` differs from ``requested_id`` only on homophily
+    substitutions (case 3).
+    """
+
+    requested_id: int
+    served_id: int
+    payload: Any
+    source: FetchSource
+
+    @property
+    def substituted(self) -> bool:
+        return self.served_id != self.requested_id
+
+
+class SemanticCache:
+    """Two-layer semantic cache with a total item budget.
+
+    ``imp_ratio`` splits ``total_capacity`` between the layers; the Elastic
+    Cache Manager adjusts it at runtime via :meth:`set_imp_ratio`.
+    """
+
+    def __init__(self, total_capacity: int, imp_ratio: float = 0.9) -> None:
+        if total_capacity < 0:
+            raise ValueError("total_capacity must be non-negative")
+        if not 0.0 <= imp_ratio <= 1.0:
+            raise ValueError("imp_ratio must be in [0, 1]")
+        self.total_capacity = int(total_capacity)
+        self._imp_ratio = float(imp_ratio)
+        imp_cap = round(self.total_capacity * imp_ratio)
+        self.importance = ImportanceCache(imp_cap)
+        self.homophily = HomophilyCache(self.total_capacity - imp_cap)
+        self.stats = CacheStats()  # aggregate over both layers
+
+    # ------------------------------------------------------------------
+    @property
+    def imp_ratio(self) -> float:
+        return self._imp_ratio
+
+    def set_imp_ratio(self, ratio: float) -> None:
+        """Rebalance layer capacities to a new importance fraction.
+
+        Shrinks whichever layer lost budget (evicting per its own policy)
+        before growing the other, keeping the total budget constant.
+        """
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("imp_ratio must be in [0, 1]")
+        self._imp_ratio = float(ratio)
+        imp_cap = round(self.total_capacity * ratio)
+        hom_cap = self.total_capacity - imp_cap
+        if imp_cap < self.importance.capacity:
+            self.importance.shrink_to(imp_cap)
+            self.homophily.grow_to(hom_cap)
+        elif imp_cap > self.importance.capacity:
+            self.homophily.shrink_to(hom_cap)
+            self.importance.grow_to(imp_cap)
+
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        index: int,
+        score: float,
+        remote_get: Callable[[int], Any],
+    ) -> FetchOutcome:
+        """Serve one sample request per the Fig. 9 protocol.
+
+        ``score`` is the requester's current global importance score, used
+        for the admission decision on a full miss. ``remote_get`` is invoked
+        only on a miss in both layers.
+        """
+        payload = self.importance.get(index)
+        if payload is not None:
+            self.stats.hits += 1
+            return FetchOutcome(index, index, payload, FetchSource.IMPORTANCE)
+
+        sub = self.homophily.lookup(index)
+        if sub is not None:
+            node_key, node_payload = sub
+            if node_key == index:
+                self.stats.hits += 1
+            else:
+                self.stats.substitute_hits += 1
+            return FetchOutcome(index, node_key, node_payload, FetchSource.HOMOPHILY)
+
+        payload = remote_get(index)
+        self.stats.misses += 1
+        self.importance.admit(index, payload, score)
+        return FetchOutcome(index, index, payload, FetchSource.REMOTE)
+
+    def update_homophily(
+        self, node_key: int, payload: Any, neighbor_ids: List[int]
+    ) -> bool:
+        """Per-batch Homophily Cache refresh with the top-degree node."""
+        return self.homophily.update(node_key, payload, neighbor_ids)
+
+    def update_score(self, index: int, score: float) -> None:
+        """Propagate a global-score change to the Importance Cache heap."""
+        self.importance.update_score(index, score)
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        """Total hit ratio including homophily substitutions."""
+        return self.stats.hit_ratio
+
+    def __len__(self) -> int:
+        return len(self.importance) + len(self.homophily)
+
+    def reset_stats(self) -> None:
+        """Zero the aggregate and per-layer counters."""
+        self.stats.reset()
+        self.importance.stats.reset()
+        self.homophily.stats.reset()

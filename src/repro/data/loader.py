@@ -1,0 +1,74 @@
+"""DataLoader: turns a policy's epoch order into collated batches.
+
+Mirrors the paper's modified PyTorch DataLoader (§5): the sampler decides
+*which* ids to visit, each id is fetched *through the policy's cache
+hierarchy* (possibly served a substitute sample), and payloads are collated
+into arrays for the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.core.semantic_cache import FetchOutcome, FetchSource
+
+__all__ = ["Batch", "DataLoader"]
+
+
+@dataclass
+class Batch:
+    """One collated mini-batch."""
+
+    requested: np.ndarray  # ids the sampler asked for
+    served: np.ndarray  # ids actually delivered (substitutions differ)
+    X: np.ndarray  # payload rows, stacked
+    y: np.ndarray  # labels of the *served* samples
+    sources: List[FetchSource]
+
+    def __len__(self) -> int:
+        return self.requested.shape[0]
+
+    @property
+    def substitution_count(self) -> int:
+        return int(np.sum(self.requested != self.served))
+
+
+class DataLoader:
+    """Batches an epoch order through a fetch function.
+
+    Parameters
+    ----------
+    labels:
+        Full label array; served ids are labeled from it (a substitute
+        sample trains under its *own* label).
+    fetch_fn:
+        ``index -> FetchOutcome`` (a policy's ``fetch``).
+    batch_size:
+        Mini-batch size; the final short batch is kept (not dropped).
+    """
+
+    def __init__(self, labels: np.ndarray, fetch_fn, batch_size: int = 128) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.labels = np.asarray(labels, dtype=np.int64)
+        self.fetch_fn = fetch_fn
+        self.batch_size = int(batch_size)
+
+    def iter_epoch(self, order: np.ndarray) -> Iterator[Batch]:
+        """Yield collated batches for one epoch's sample order."""
+        order = np.asarray(order, dtype=np.int64)
+        for start in range(0, order.shape[0], self.batch_size):
+            ids = order[start : start + self.batch_size]
+            outcomes = [self.fetch_fn(int(i)) for i in ids]
+            served = np.asarray([o.served_id for o in outcomes], dtype=np.int64)
+            X = np.stack([np.asarray(o.payload) for o in outcomes])
+            yield Batch(
+                requested=ids,
+                served=served,
+                X=X,
+                y=self.labels[served],
+                sources=[o.source for o in outcomes],
+            )

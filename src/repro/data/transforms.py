@@ -1,0 +1,186 @@
+"""Preprocessing transforms (the Fig.-2 Preprocessing stage).
+
+The paper's pipeline is Data Loading -> Preprocessing -> Computation; the
+preprocessing stage "handles decoding and collation" and is "typically
+lightweight". These transforms operate on collated batches of feature
+vectors or images, each declaring a per-item simulated cost so the trainer
+can charge the preprocessing stage (paper Fig. 3(a) shows it <5% of time).
+
+Transforms compose with :class:`Compose` and can be deterministic (eval) or
+stochastic (train-time augmentation). Augmentation matters to the caching
+study in one way: it is the reason cached *tensors* must be re-augmented
+per epoch, so caches store the decoded-but-unaugmented sample (exactly what
+our payload caches hold).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = [
+    "Transform",
+    "Compose",
+    "Normalize",
+    "GaussianNoise",
+    "FeatureDropout",
+    "RandomScale",
+    "RandomShiftImage",
+    "HorizontalFlipImage",
+]
+
+
+class Transform:
+    """Base batch transform.
+
+    ``cost_us_per_item`` is the simulated preprocessing cost (decode,
+    colour conversion, etc.) charged per sample by the trainer.
+    """
+
+    cost_us_per_item: float = 1.0
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        raise NotImplementedError
+
+
+class Compose(Transform):
+    """Apply transforms in order; cost is the sum of parts."""
+
+    def __init__(self, transforms: Sequence[Transform]) -> None:
+        self.transforms = list(transforms)
+
+    @property
+    def cost_us_per_item(self) -> float:  # type: ignore[override]
+        return sum(t.cost_us_per_item for t in self.transforms)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        for t in self.transforms:
+            batch = t(batch, training=training)
+        return batch
+
+
+class Normalize(Transform):
+    """Standardize features with fixed statistics (deterministic)."""
+
+    cost_us_per_item = 2.0
+
+    def __init__(self, mean: np.ndarray, std: np.ndarray) -> None:
+        self.mean = np.asarray(mean, dtype=np.float64)
+        self.std = np.asarray(std, dtype=np.float64)
+        if np.any(self.std <= 0):
+            raise ValueError("std must be positive")
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        return (batch - self.mean) / self.std
+
+    @classmethod
+    def fit(cls, data: np.ndarray) -> "Normalize":
+        """Estimate statistics from a dataset (per-feature)."""
+        data = np.asarray(data, dtype=np.float64)
+        std = data.std(axis=0)
+        std[std == 0] = 1.0
+        return cls(data.mean(axis=0), std)
+
+
+class GaussianNoise(Transform):
+    """Additive noise augmentation (train-time only)."""
+
+    cost_us_per_item = 3.0
+
+    def __init__(self, sigma: float = 0.1, rng: RngLike = None) -> None:
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.sigma = float(sigma)
+        self._rng = resolve_rng(rng)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.sigma == 0:
+            return batch
+        return batch + self._rng.normal(0.0, self.sigma, size=batch.shape)
+
+
+class FeatureDropout(Transform):
+    """Randomly zero a fraction of features per sample (train-time)."""
+
+    cost_us_per_item = 2.0
+
+    def __init__(self, p: float = 0.1, rng: RngLike = None) -> None:
+        if not 0.0 <= p < 1.0:
+            raise ValueError("p must be in [0, 1)")
+        self.p = float(p)
+        self._rng = resolve_rng(rng)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.p == 0:
+            return batch
+        mask = self._rng.random(batch.shape) >= self.p
+        return batch * mask
+
+
+class RandomScale(Transform):
+    """Multiply each sample by a random scalar near 1 (train-time)."""
+
+    cost_us_per_item = 1.0
+
+    def __init__(self, low: float = 0.9, high: float = 1.1, rng: RngLike = None) -> None:
+        if not 0 < low <= high:
+            raise ValueError("need 0 < low <= high")
+        self.low, self.high = float(low), float(high)
+        self._rng = resolve_rng(rng)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training:
+            return batch
+        scales = self._rng.uniform(self.low, self.high, size=(batch.shape[0],))
+        shape = (batch.shape[0],) + (1,) * (batch.ndim - 1)
+        return batch * scales.reshape(shape)
+
+
+class RandomShiftImage(Transform):
+    """Circularly shift (n, c, h, w) images by up to ``max_shift`` pixels."""
+
+    cost_us_per_item = 5.0
+
+    def __init__(self, max_shift: int = 2, rng: RngLike = None) -> None:
+        if max_shift < 0:
+            raise ValueError("max_shift must be non-negative")
+        self.max_shift = int(max_shift)
+        self._rng = resolve_rng(rng)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.max_shift == 0:
+            return batch
+        if batch.ndim != 4:
+            raise ValueError("expected (n, c, h, w) images")
+        out = np.empty_like(batch)
+        shifts = self._rng.integers(-self.max_shift, self.max_shift + 1,
+                                    size=(batch.shape[0], 2))
+        for i in range(batch.shape[0]):
+            out[i] = np.roll(batch[i], (int(shifts[i, 0]), int(shifts[i, 1])),
+                             axis=(1, 2))
+        return out
+
+
+class HorizontalFlipImage(Transform):
+    """Flip (n, c, h, w) images left-right with probability ``p``."""
+
+    cost_us_per_item = 2.0
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None) -> None:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        self.p = float(p)
+        self._rng = resolve_rng(rng)
+
+    def __call__(self, batch: np.ndarray, training: bool = True) -> np.ndarray:
+        if not training or self.p == 0:
+            return batch
+        if batch.ndim != 4:
+            raise ValueError("expected (n, c, h, w) images")
+        out = batch.copy()
+        flip = self._rng.random(batch.shape[0]) < self.p
+        out[flip] = out[flip, :, :, ::-1]
+        return out

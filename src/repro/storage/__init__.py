@@ -1,0 +1,33 @@
+"""Remote-storage simulator.
+
+Replaces the paper's NFS-over-10GbE datacenter storage (§6.1). Hit ratios
+are hardware-independent; end-to-end *time* shape only needs miss-count x
+fetch-latency vs per-batch compute cost, which these models provide.
+"""
+
+from repro.storage.backends import InMemoryStore, RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.flaky import FlakyStore, RetryingStore, TransientFetchError
+from repro.storage.kvstore import ByteLRUCache, CapacityError, InMemoryKVStore
+from repro.storage.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LognormalLatency,
+    ParetoTailLatency,
+)
+
+__all__ = [
+    "RemoteStore",
+    "InMemoryStore",
+    "SimClock",
+    "LatencyModel",
+    "ConstantLatency",
+    "LognormalLatency",
+    "ParetoTailLatency",
+    "FlakyStore",
+    "RetryingStore",
+    "TransientFetchError",
+    "InMemoryKVStore",
+    "ByteLRUCache",
+    "CapacityError",
+]

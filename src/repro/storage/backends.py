@@ -1,0 +1,117 @@
+"""Storage backends serving sample payloads by index.
+
+``RemoteStore`` is the simulated NFS/cloud tier: every ``get`` charges
+latency to a :class:`~repro.storage.clock.SimClock` and increments fetch
+counters. ``InMemoryStore`` is the zero-cost local tier used by tests and by
+IS-only experiments where caching is disabled but I/O time is irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency, LatencyModel
+
+__all__ = ["RemoteStore", "InMemoryStore"]
+
+
+class RemoteStore:
+    """Remote storage over a dataset's payload array.
+
+    Parameters
+    ----------
+    payloads:
+        ``(n, ...)`` array; row ``i`` is sample ``i``'s raw data.
+    item_nbytes:
+        Simulated on-storage size per item (drives the bandwidth term).
+    latency:
+        Latency model; defaults to datacenter-NFS-like constants.
+    clock:
+        Stage clock to charge fetch time to (stage name ``"data_load"``).
+    """
+
+    STAGE = "data_load"
+
+    def __init__(
+        self,
+        payloads: np.ndarray,
+        item_nbytes: int = 3 * 1024,
+        latency: Optional[LatencyModel] = None,
+        clock: Optional[SimClock] = None,
+        item_sizes: Optional[np.ndarray] = None,
+    ) -> None:
+        self._payloads = payloads
+        self.item_nbytes = int(item_nbytes)
+        self.latency = latency or ConstantLatency()
+        self.clock = clock if clock is not None else SimClock()
+        # Optional per-item sizes (e.g. variable JPEG sizes); overrides the
+        # uniform ``item_nbytes`` in latency and byte accounting.
+        if item_sizes is not None:
+            item_sizes = np.asarray(item_sizes, dtype=np.int64)
+            if item_sizes.shape[0] != payloads.shape[0]:
+                raise ValueError("item_sizes must match payload count")
+            if np.any(item_sizes < 0):
+                raise ValueError("item_sizes must be non-negative")
+        self.item_sizes = item_sizes
+        self.fetch_count = 0
+        self.bytes_fetched = 0
+
+    def __len__(self) -> int:
+        return self._payloads.shape[0]
+
+    def size_of(self, index: int) -> int:
+        """Simulated on-storage size of one item in bytes."""
+        if self.item_sizes is not None:
+            return int(self.item_sizes[index])
+        return self.item_nbytes
+
+    def get(self, index: int) -> np.ndarray:
+        """Fetch one payload, charging simulated latency."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"sample index {index} out of range")
+        nbytes = self.size_of(index)
+        self.fetch_count += 1
+        self.bytes_fetched += nbytes
+        self.clock.advance(self.STAGE, self.latency.sample(nbytes))
+        return self._payloads[index]
+
+    def peek(self, index: int) -> np.ndarray:
+        """Read a payload without charging latency (test/diagnostic use)."""
+        return self._payloads[index]
+
+    def reset_counters(self) -> None:
+        """Zero the fetch counters (the clock is left untouched)."""
+        self.fetch_count = 0
+        self.bytes_fetched = 0
+
+
+class InMemoryStore:
+    """Zero-latency store with the same interface as :class:`RemoteStore`."""
+
+    def __init__(self, payloads: np.ndarray) -> None:
+        self._payloads = payloads
+        self.fetch_count = 0
+        self.bytes_fetched = 0
+        self.clock = SimClock()
+
+    def __len__(self) -> int:
+        return self._payloads.shape[0]
+
+    def get(self, index: int) -> np.ndarray:
+        """Fetch one payload (free: no simulated latency)."""
+        if not 0 <= index < len(self):
+            raise IndexError(f"sample index {index} out of range")
+        self.fetch_count += 1
+        return self._payloads[index]
+
+    def peek(self, index: int) -> np.ndarray:
+        """Read a payload without counting a fetch."""
+        return self._payloads[index]
+
+    def reset_counters(self) -> None:
+        """Zero the fetch counters."""
+        self.fetch_count = 0
+        self.bytes_fetched = 0

@@ -1,0 +1,55 @@
+"""Simulated wall clock with per-stage accounting.
+
+The paper splits training time into Data Loading / Preprocessing /
+Computation (Fig. 2) and later Stage1 / Stage2 / IS (§5). ``SimClock``
+accumulates simulated seconds per named stage so experiments can report both
+breakdowns (Fig. 3(a), Table 1) and end-to-end totals (Table 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Accumulates simulated time across named stages."""
+
+    def __init__(self) -> None:
+        self._stage_s: Dict[str, float] = defaultdict(float)
+
+    def advance(self, stage: str, seconds: float) -> None:
+        """Charge ``seconds`` of simulated time to ``stage``."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._stage_s[stage] += seconds
+
+    def stage_seconds(self, stage: str) -> float:
+        """Accumulated seconds for one stage (0 if never charged)."""
+        return self._stage_s.get(stage, 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self._stage_s.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Copy of per-stage totals."""
+        return dict(self._stage_s)
+
+    def fractions(self) -> Dict[str, float]:
+        """Per-stage fraction of total time (empty dict if nothing elapsed)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {}
+        return {k: v / total for k, v in self._stage_s.items()}
+
+    def reset(self) -> None:
+        """Zero all stages."""
+        self._stage_s.clear()
+
+    def merge(self, other: "SimClock") -> None:
+        """Add another clock's accumulated time into this one."""
+        for stage, secs in other.breakdown().items():
+            self._stage_s[stage] += secs

@@ -1,0 +1,213 @@
+"""Redis-like in-memory KV store with byte-capacity accounting.
+
+The paper "uses Redis for in-memory caching, following SHADE" (§5). The
+item-count caches in :mod:`repro.cache` are the right abstraction when all
+samples are the same size (one dataset); this module models the cache
+*server* itself for mixed-size deployments:
+
+* :class:`InMemoryKVStore` — byte-budgeted key-value store with per-op
+  latency (serialization + loopback round-trip) charged to a
+  :class:`~repro.storage.clock.SimClock`, Redis-style ``maxmemory``
+  policies (``noeviction`` raises; ``allkeys-lru`` evicts), and hit/miss
+  counters;
+* :class:`ByteLRUCache` — a size-aware LRU implementing the
+  :class:`~repro.cache.base.Cache` interface with capacity in bytes, for
+  datasets with heterogeneous item sizes (ImageNet JPEGs vary ~10x).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.base import Cache, CacheStats
+from repro.storage.clock import SimClock
+
+__all__ = ["CapacityError", "InMemoryKVStore", "ByteLRUCache"]
+
+
+class CapacityError(RuntimeError):
+    """Raised by ``noeviction`` stores when a set would exceed capacity."""
+
+
+def _nbytes(value: Any) -> int:
+    """Best-effort payload size in bytes."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    # Fallback: numpy coercion.
+    return int(np.asarray(value).nbytes)
+
+
+class InMemoryKVStore:
+    """Byte-budgeted KV store with simulated operation latency.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        ``maxmemory``; 0 means unlimited.
+    eviction:
+        ``"noeviction"`` (reject oversize sets with :class:`CapacityError`)
+        or ``"allkeys-lru"`` (evict least-recently-used keys to make room).
+    op_latency_s / bandwidth_bps:
+        Per-operation base cost and payload transfer rate (loopback Redis:
+        ~50 us/op, ~5 GB/s effective).
+    clock:
+        Stage clock; ops charge the ``"cache_op"`` stage.
+    """
+
+    STAGE = "cache_op"
+
+    def __init__(
+        self,
+        capacity_bytes: int = 0,
+        eviction: str = "allkeys-lru",
+        op_latency_s: float = 50e-6,
+        bandwidth_bps: float = 5e9,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if eviction not in ("noeviction", "allkeys-lru"):
+            raise ValueError(f"unknown eviction policy {eviction!r}")
+        if op_latency_s < 0 or bandwidth_bps <= 0:
+            raise ValueError("invalid latency parameters")
+        self.capacity_bytes = int(capacity_bytes)
+        self.eviction = eviction
+        self.op_latency_s = float(op_latency_s)
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.clock = clock if clock is not None else SimClock()
+        self._data: OrderedDict[Any, Tuple[Any, int]] = OrderedDict()
+        self.memory_used = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def _charge(self, nbytes: int) -> None:
+        self.clock.advance(self.STAGE, self.op_latency_s + nbytes / self.bandwidth_bps)
+
+    # ------------------------------------------------------------------
+    def set(self, key: Any, value: Any, nbytes: Optional[int] = None) -> None:
+        """Store a value, evicting (or raising) per the memory policy."""
+        size = int(nbytes) if nbytes is not None else _nbytes(value)
+        if size < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._charge(size)
+        if key in self._data:
+            _, old = self._data.pop(key)
+            self.memory_used -= old
+        if self.capacity_bytes and size > self.capacity_bytes:
+            raise CapacityError(
+                f"value of {size}B exceeds capacity {self.capacity_bytes}B"
+            )
+        if self.capacity_bytes:
+            while self.memory_used + size > self.capacity_bytes:
+                if self.eviction == "noeviction":
+                    raise CapacityError(
+                        f"set of {size}B would exceed capacity "
+                        f"({self.memory_used}/{self.capacity_bytes}B used)"
+                    )
+                victim, (_, vsize) = self._data.popitem(last=False)
+                self.memory_used -= vsize
+                self.stats.evictions += 1
+        self._data[key] = (value, size)
+        self.memory_used += size
+        self.stats.insertions += 1
+
+    def get(self, key: Any) -> Optional[Any]:
+        """Fetch a value (LRU-refreshing); ``None`` on miss."""
+        entry = self._data.get(key)
+        if entry is None:
+            self._charge(0)
+            self.stats.misses += 1
+            return None
+        value, size = entry
+        self._data.move_to_end(key)
+        self._charge(size)
+        self.stats.hits += 1
+        return value
+
+    def delete(self, key: Any) -> bool:
+        """Remove a key; returns whether it existed."""
+        entry = self._data.pop(key, None)
+        self._charge(0)
+        if entry is None:
+            return False
+        self.memory_used -= entry[1]
+        return True
+
+    def keys(self):
+        """Stored keys, least-recently-used first."""
+        return list(self._data.keys())
+
+    def flush(self) -> None:
+        """Drop everything (Redis FLUSHALL)."""
+        self._data.clear()
+        self.memory_used = 0
+
+
+class ByteLRUCache(Cache):
+    """Size-aware LRU: capacity measured in bytes, not items.
+
+    ``put`` takes payload size from the value itself (numpy/bytes/str) so
+    heterogeneous items (e.g. variable-size JPEGs) are budgeted correctly.
+    A single item larger than the whole budget is rejected silently (it
+    can never fit).
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        # Base-class ``capacity`` tracks bytes here.
+        super().__init__(capacity_bytes)
+        self._items: OrderedDict[Any, Tuple[Any, int]] = OrderedDict()
+        self.bytes_used = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def _lookup(self, key: Any) -> Optional[Any]:
+        entry = self._items.get(key)
+        if entry is None:
+            return None
+        self._items.move_to_end(key)
+        return entry[0]
+
+    def _insert(self, key: Any, value: Any) -> None:
+        size = _nbytes(value)
+        if key in self._items:
+            self.bytes_used -= self._items[key][1]
+        self._items[key] = (value, size)
+        self._items.move_to_end(key)
+        self.bytes_used += size
+
+    def _evict_one(self) -> Any:
+        key, (_, size) = self._items.popitem(last=False)
+        self.bytes_used -= size
+        return key
+
+    def put(self, key: Any, value: Any) -> None:
+        """Byte-budgeted insert (overrides the item-count logic)."""
+        if self.capacity == 0:
+            return
+        size = _nbytes(value)
+        if size > self.capacity:
+            return  # can never fit
+        is_new = key not in self._items
+        self._insert(key, value)
+        if is_new:
+            self.stats.insertions += 1
+        while self.bytes_used > self.capacity:
+            self._evict_one()
+            self.stats.evictions += 1

@@ -1,0 +1,115 @@
+"""Checkpointing: save/restore model + optimizer training state.
+
+Long training runs on spot VMs — the deployment the paper motivates with
+("low-cost GPU Spot VMs ... prone to termination") — need resumable state.
+Checkpoints are plain ``.npz`` archives holding the model's ``state_dict``,
+the optimizer's momentum buffers and epoch counter, and arbitrary metadata.
+
+Resuming is exact: a run checkpointed at epoch k and resumed reproduces the
+parameter trajectory of an uninterrupted run, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.models import Model
+from repro.nn.optim import SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint", "restore_into"]
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: Union[str, Path],
+    model: Model,
+    optimizer: Optional[SGD] = None,
+    epoch: int = 0,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Write a checkpoint archive; returns the path written.
+
+    ``metadata`` must be JSON-serializable (stored inside the archive).
+    """
+    path = Path(path)
+    arrays: Dict[str, np.ndarray] = {}
+    for k, v in model.state_dict().items():
+        arrays[f"model/{k}"] = np.asarray(v)
+    if optimizer is not None:
+        for i, v in enumerate(optimizer._velocity):
+            arrays[f"optim/velocity/{i}"] = np.asarray(v)
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "epoch": int(epoch),
+        "has_optimizer": optimizer is not None,
+        "metadata": metadata or {},
+    }
+    arrays["__header__"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    # np.savez appends .npz when absent; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a checkpoint into a plain dict.
+
+    Returns ``{"epoch", "metadata", "model", "optimizer_velocity"}`` where
+    ``model`` maps state-dict keys to arrays and ``optimizer_velocity`` is a
+    list (or ``None`` when the checkpoint carried no optimizer).
+    """
+    with np.load(Path(path)) as data:
+        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {header.get('format_version')}"
+            )
+        model_state = {
+            k[len("model/"):]: data[k] for k in data.files if k.startswith("model/")
+        }
+        velocity = None
+        if header["has_optimizer"]:
+            keys = sorted(
+                (k for k in data.files if k.startswith("optim/velocity/")),
+                key=lambda k: int(k.rsplit("/", 1)[1]),
+            )
+            velocity = [data[k] for k in keys]
+    return {
+        "epoch": header["epoch"],
+        "metadata": header["metadata"],
+        "model": model_state,
+        "optimizer_velocity": velocity,
+    }
+
+
+def restore_into(
+    checkpoint: Dict[str, Any],
+    model: Model,
+    optimizer: Optional[SGD] = None,
+) -> int:
+    """Load a checkpoint dict into live objects; returns the saved epoch.
+
+    The model architecture must match (same state-dict keys and shapes);
+    mismatches raise ``KeyError``/``ValueError`` rather than silently
+    truncating.
+    """
+    model.load_state_dict(checkpoint["model"])
+    if optimizer is not None:
+        velocity = checkpoint["optimizer_velocity"]
+        if velocity is None:
+            raise ValueError("checkpoint carries no optimizer state")
+        if len(velocity) != len(optimizer._velocity):
+            raise ValueError("optimizer parameter count mismatch")
+        for dst, src in zip(optimizer._velocity, velocity):
+            if dst.shape != src.shape:
+                raise ValueError("optimizer velocity shape mismatch")
+            np.copyto(dst, src)
+        optimizer.set_epoch(checkpoint["epoch"])
+    return int(checkpoint["epoch"])

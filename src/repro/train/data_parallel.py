@@ -1,0 +1,330 @@
+"""Synchronous data-parallel training with real gradient math.
+
+Extends the post-hoc scaling model of :mod:`repro.train.multigpu` with an
+actual multi-worker run (paper §6.6 evaluates 1-4 GPUs):
+
+* the dataset is partitioned across ``world_size`` workers (PyTorch's
+  ``DistributedSampler`` convention);
+* each worker holds a full model replica, its own cache policy over its
+  shard, and its own simulated store/clock;
+* every step, workers compute gradients on their shards; gradients are
+  averaged and the identical update is applied to every replica — so the
+  replicas stay bit-identical, which :meth:`replicas_in_sync` asserts.
+
+Simulated step time = max over workers of their data-load time (the I/O
+straggler effect) + per-worker compute + a ring-all-reduce communication
+term that grows with the worker count — reproducing the Fig.-17 shape from
+first principles rather than by scaling a single-GPU run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SyntheticDataset
+from repro.nn.models import Model
+from repro.nn.optim import SGD
+from repro.storage.backends import RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency, LatencyModel
+from repro.train.metrics import EpochMetrics, TrainResult
+from repro.train.pipeline import StageCostModel
+from repro.train.policy_base import PolicyContext, TrainingPolicy
+from repro.train.trainer import TrainerConfig
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = ["DataParallelTrainer", "WorkerState"]
+
+
+@dataclass
+class WorkerState:
+    """One worker's replica, shard, policy, and loader."""
+
+    rank: int
+    shard: np.ndarray  # global sample ids owned by this worker
+    model: Model
+    policy: TrainingPolicy
+    store: RemoteStore
+    clock: SimClock
+    loader: DataLoader
+    optimizer: SGD
+
+
+class DataParallelTrainer:
+    """Train ``world_size`` synchronized replicas over shards.
+
+    Parameters
+    ----------
+    model_factory:
+        ``() -> Model``; called once per worker. Factories must be
+        deterministic (same seed) so replicas start identical.
+    policy_factory:
+        ``(rank) -> TrainingPolicy``; each worker gets its own cache over
+        its shard (per-worker caches, as in the paper's multi-GPU setup).
+    comm_ms_per_step:
+        All-reduce cost at 2 workers; scaled by ``2 (K-1)/K``.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Model],
+        train_set: SyntheticDataset,
+        test_set: SyntheticDataset,
+        policy_factory: Callable[[int], TrainingPolicy],
+        world_size: int = 2,
+        config: Optional[TrainerConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        comm_ms_per_step: float = 8.0,
+        shared_cache: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.train_set = train_set
+        self.test_set = test_set
+        self.config = config or TrainerConfig()
+        self.world_size = int(world_size)
+        self.comm_ms_per_step = float(comm_ms_per_step)
+        # shared_cache=True models the paper's multi-GPU deployment: all
+        # workers fetch through ONE policy/cache over the full dataset (one
+        # Redis shared by every GPU), and each epoch's global importance
+        # order is split round-robin across workers. shared_cache=False
+        # gives fully sharded workers (each owns a fixed data partition
+        # with its own cache — the DistributedSampler convention).
+        self.shared_cache = bool(shared_cache)
+        self._rng = resolve_rng(rng)
+
+        n = len(train_set)
+        per_worker_batch = max(1, self.config.batch_size // world_size)
+
+        shared_policy: Optional[TrainingPolicy] = None
+        shared_store: Optional[RemoteStore] = None
+        shared_clock: Optional[SimClock] = None
+        if self.shared_cache:
+            shared_clock = SimClock()
+            shared_store = RemoteStore(
+                train_set.X,
+                item_nbytes=train_set.item_nbytes,
+                latency=latency or ConstantLatency(),
+                clock=shared_clock,
+            )
+
+        if self.shared_cache:
+            shards = [np.arange(n) for _ in range(world_size)]
+        else:
+            perm = self._rng.permutation(n)
+            shards = np.array_split(perm, world_size)
+
+        self.workers: List[WorkerState] = []
+        for rank, shard in enumerate(shards):
+            model = model_factory()
+            if self.shared_cache:
+                shard_set = train_set
+                clock = shared_clock
+                store = shared_store
+                if rank == 0:
+                    policy = policy_factory(rank)
+                    policy.setup(
+                        PolicyContext(
+                            dataset=train_set,
+                            store=store,
+                            batch_size=per_worker_batch,
+                            total_epochs=self.config.epochs,
+                            embedding_dim=model.embedding_dim,
+                            rng=self._rng.spawn(1)[0],
+                        )
+                    )
+                    shared_policy = policy
+                else:
+                    policy = shared_policy
+            else:
+                shard_set = train_set.subset(
+                    shard, name=f"{train_set.name}-w{rank}"
+                )
+                clock = SimClock()
+                store = RemoteStore(
+                    shard_set.X,
+                    item_nbytes=train_set.item_nbytes,
+                    latency=latency or ConstantLatency(),
+                    clock=clock,
+                )
+                policy = policy_factory(rank)
+                policy.setup(
+                    PolicyContext(
+                        dataset=shard_set,
+                        store=store,
+                        batch_size=per_worker_batch,
+                        total_epochs=self.config.epochs,
+                        embedding_dim=model.embedding_dim,
+                        rng=self._rng.spawn(1)[0],
+                    )
+                )
+            loader = DataLoader(
+                shard_set.y, policy.fetch, batch_size=per_worker_batch
+            )
+            optimizer = SGD(
+                model.params(), lr=self.config.lr,
+                momentum=self.config.momentum,
+                weight_decay=self.config.weight_decay,
+            )
+            self.workers.append(
+                WorkerState(rank, shard, model, policy, store, clock, loader,
+                            optimizer)
+            )
+
+        # Broadcast worker 0's weights so every replica starts identical
+        # even if the factory is not perfectly deterministic.
+        ref = self.workers[0].model.state_dict()
+        for w in self.workers[1:]:
+            w.model.load_state_dict(ref)
+
+    # ------------------------------------------------------------------
+    def replicas_in_sync(self, atol: float = 1e-10) -> bool:
+        """True iff every replica's parameters match worker 0's."""
+        ref = self.workers[0].model.state_dict()
+        for w in self.workers[1:]:
+            for k, v in w.model.state_dict().items():
+                if k.startswith(("features", "head")) and "running" in k:
+                    continue  # batchnorm running stats differ per shard
+                if not np.allclose(v, ref[k], atol=atol):
+                    return False
+        return True
+
+    def _all_reduce_and_step(self) -> None:
+        """Average gradients across replicas, apply the same update to all."""
+        params_per_worker = [w.model.params() for w in self.workers]
+        n_params = len(params_per_worker[0])
+        for pi in range(n_params):
+            grads = [params_per_worker[k][pi][1] for k in range(self.world_size)]
+            mean = np.mean(grads, axis=0)
+            for g in grads:
+                np.copyto(g, mean)
+        for w in self.workers:
+            w.optimizer.step()
+
+    # ------------------------------------------------------------------
+    def run(self) -> TrainResult:
+        """Train all replicas synchronously; returns the run record."""
+        cfg = self.config
+        k = self.world_size
+        first = self.workers[0]
+        spec = first.model.spec
+        costs = (
+            StageCostModel.from_spec(spec)
+            if spec is not None
+            else StageCostModel(42.0, 35.0, 16.0)
+        )
+        result = TrainResult(
+            policy_name=f"{first.policy.name}@dp{k}",
+            model_name=spec.name if spec else "custom",
+            dataset_name=self.train_set.name,
+        )
+        comm_factor = 2 * (k - 1) / k if k > 1 else 0.0
+        val_accuracy = 0.0
+
+        # In shared-cache mode every worker aliases one policy/store.
+        policies = (
+            [self.workers[0].policy] if self.shared_cache
+            else [w.policy for w in self.workers]
+        )
+        clocks = (
+            [self.workers[0].clock] if self.shared_cache
+            else [w.clock for w in self.workers]
+        )
+
+        for epoch in range(cfg.epochs):
+            for w in self.workers:
+                w.optimizer.set_epoch(epoch)
+            for p in policies:
+                p.before_epoch(epoch)
+            load_before = [c.stage_seconds(RemoteStore.STAGE) for c in clocks]
+            stats_before = [
+                (s.requests, s.hits + s.substitute_hits, s.hits,
+                 s.substitute_hits)
+                for s in (p.stats() for p in policies)
+            ]
+            if self.shared_cache:
+                # One global importance order, split round-robin.
+                order = self.workers[0].policy.epoch_order(epoch)
+                iters = [
+                    w.loader.iter_epoch(order[rank :: k])
+                    for rank, w in enumerate(self.workers)
+                ]
+            else:
+                iters = [
+                    w.loader.iter_epoch(w.policy.epoch_order(epoch))
+                    for w in self.workers
+                ]
+            epoch_loss, n_seen, n_steps = 0.0, 0, 0
+            while True:
+                batches = []
+                for it in iters:
+                    batches.append(next(it, None))
+                live = [b for b in batches if b is not None]
+                if not live:
+                    break
+                for w in self.workers:
+                    w.optimizer.zero_grad()
+                for w, batch in zip(self.workers, batches):
+                    if batch is None:
+                        continue  # uneven shard tails contribute zero grads
+                    losses, emb = w.model.train_batch(batch.X, batch.y)
+                    w.policy.after_batch(
+                        batch.requested, batch.served, losses, emb, epoch
+                    )
+                    epoch_loss += float(losses.sum())
+                    n_seen += len(batch)
+                self._all_reduce_and_step()
+                n_steps += 1
+
+            # Stage accounting: straggler = slowest worker's load (sharded),
+            # or total shared-store load divided across workers (shared).
+            loads = [
+                (c.stage_seconds(RemoteStore.STAGE) - b) / cfg.io_workers
+                for c, b in zip(clocks, load_before)
+            ]
+            data_load_s = loads[0] / k if self.shared_cache else max(loads)
+            compute_s = n_steps * (costs.stage1_ms + costs.stage2_ms) / 1e3 * (
+                (cfg.batch_size / k) / cfg.reference_batch
+            )
+            comm_s = n_steps * self.comm_ms_per_step / 1e3 * comm_factor
+            mode = costs.recommended_mode()
+            is_visible_s = n_steps * costs.visible_is_ms(mode) / 1e3
+
+            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
+                val_accuracy, _ = first.model.evaluate(
+                    self.test_set.X, self.test_set.y
+                )
+            for p in policies:
+                p.after_epoch(epoch, val_accuracy)
+
+            stats_after = [
+                (s.requests, s.hits + s.substitute_hits, s.hits,
+                 s.substitute_hits)
+                for s in (p.stats() for p in policies)
+            ]
+            req = sum(a[0] - b[0] for a, b in zip(stats_after, stats_before))
+            hit = sum(a[1] - b[1] for a, b in zip(stats_after, stats_before))
+            exact = sum(a[2] - b[2] for a, b in zip(stats_after, stats_before))
+            sub = sum(a[3] - b[3] for a, b in zip(stats_after, stats_before))
+
+            result.epochs.append(
+                EpochMetrics(
+                    epoch=epoch,
+                    train_loss=epoch_loss / max(n_seen, 1),
+                    val_accuracy=val_accuracy,
+                    hit_ratio=hit / req if req else 0.0,
+                    exact_hit_ratio=exact / req if req else 0.0,
+                    substitute_ratio=sub / req if req else 0.0,
+                    data_load_s=data_load_s,
+                    compute_s=compute_s,
+                    is_visible_s=is_visible_s,
+                    epoch_time_s=data_load_s + compute_s + comm_s + is_visible_s,
+                    imp_ratio=first.policy.imp_ratio,
+                )
+            )
+        return result

@@ -1,0 +1,99 @@
+"""Training-run records: per-epoch metrics and run summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["EpochMetrics", "TrainResult"]
+
+
+@dataclass
+class EpochMetrics:
+    """One epoch's observations (the unit most figures plot)."""
+
+    epoch: int
+    train_loss: float
+    val_accuracy: float
+    hit_ratio: float
+    exact_hit_ratio: float
+    substitute_ratio: float
+    data_load_s: float
+    compute_s: float
+    is_visible_s: float
+    epoch_time_s: float
+    imp_ratio: Optional[float] = None
+    score_std: Optional[float] = None
+    preprocess_s: float = 0.0
+
+
+@dataclass
+class TrainResult:
+    """Full run record returned by :meth:`Trainer.run`."""
+
+    policy_name: str
+    model_name: str
+    dataset_name: str
+    epochs: List[EpochMetrics] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def final_accuracy(self) -> float:
+        if not self.epochs:
+            raise ValueError("empty run")
+        return self.epochs[-1].val_accuracy
+
+    @property
+    def best_accuracy(self) -> float:
+        return max(e.val_accuracy for e in self.epochs)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(e.epoch_time_s for e in self.epochs)
+
+    @property
+    def mean_hit_ratio(self) -> float:
+        """Average per-epoch hit ratio (the Fig. 14 metric)."""
+        if not self.epochs:
+            return 0.0
+        return float(np.mean([e.hit_ratio for e in self.epochs]))
+
+    def series(self, attr: str) -> np.ndarray:
+        """Extract one per-epoch attribute as an array (for plotting)."""
+        return np.asarray([getattr(e, attr) for e in self.epochs], dtype=np.float64)
+
+    def time_to_accuracy(self, threshold: float) -> Optional[float]:
+        """Simulated seconds until validation accuracy first reaches
+        ``threshold`` (SHADE's time-to-accuracy metric).
+
+        Returns ``None`` if the run never reaches the threshold. Time is
+        accumulated through the end of the first qualifying epoch.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        elapsed = 0.0
+        for e in self.epochs:
+            elapsed += e.epoch_time_s
+            if e.val_accuracy >= threshold:
+                return elapsed
+        return None
+
+    def stage_totals(self) -> Dict[str, float]:
+        """Summed per-stage simulated time across the run."""
+        return {
+            "data_load_s": float(sum(e.data_load_s for e in self.epochs)),
+            "compute_s": float(sum(e.compute_s for e in self.epochs)),
+            "is_visible_s": float(sum(e.is_visible_s for e in self.epochs)),
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Flat summary dict for benchmark tables."""
+        return {
+            "final_accuracy": self.final_accuracy,
+            "best_accuracy": self.best_accuracy,
+            "total_time_s": self.total_time_s,
+            "mean_hit_ratio": self.mean_hit_ratio,
+            **self.stage_totals(),
+        }

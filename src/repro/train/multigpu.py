@@ -1,0 +1,103 @@
+"""Data-parallel multi-GPU time simulation (paper §6.6, Fig. 17).
+
+Models K-way synchronous data parallelism over the measured single-worker
+stage times of a finished run:
+
+* compute splits K ways (each GPU handles batch/K samples);
+* data loading splits K ways too (each worker's loader fetches its shard),
+  but the epoch's I/O stall is the *max* over workers — modeled with a
+  straggler factor that grows mildly with K (random shard imbalance);
+* gradient all-reduce adds a per-step communication cost that *increases*
+  with K (ring all-reduce latency + per-step sync), which is why the paper
+  notes "there remains significant potential ... primarily due to added
+  overheads such as communication costs".
+
+SpiderCache's advantage grows with K because compute shrinks 1/K while the
+uncached baseline's I/O stall shrinks more slowly — exactly the Fig. 17
+shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.train.metrics import TrainResult
+
+__all__ = ["MultiGPUSimulator", "MultiGPUEpoch"]
+
+
+@dataclass
+class MultiGPUEpoch:
+    """Per-epoch time decomposition for one GPU count."""
+
+    gpus: int
+    data_load_s: float
+    compute_s: float
+    comm_s: float
+
+    @property
+    def epoch_time_s(self) -> float:
+        return self.data_load_s + self.compute_s + self.comm_s
+
+
+class MultiGPUSimulator:
+    """Scales a single-GPU run's per-epoch stage times to K GPUs.
+
+    Parameters
+    ----------
+    comm_ms_per_step:
+        Base all-reduce cost per optimization step at K=2, scaled by the
+        ring-all-reduce factor ``2*(K-1)/K``.
+    straggler_alpha:
+        I/O straggler inflation: the slowest of K loaders finishes
+        ``1 + straggler_alpha*(K-1)/K`` later than the mean shard.
+    steps_per_epoch:
+        Optimization steps per epoch (for the communication term).
+    """
+
+    def __init__(
+        self,
+        comm_ms_per_step: float = 8.0,
+        straggler_alpha: float = 0.15,
+        steps_per_epoch: int = 32,
+    ) -> None:
+        if comm_ms_per_step < 0 or straggler_alpha < 0:
+            raise ValueError("costs must be non-negative")
+        if steps_per_epoch <= 0:
+            raise ValueError("steps_per_epoch must be positive")
+        self.comm_ms_per_step = comm_ms_per_step
+        self.straggler_alpha = straggler_alpha
+        self.steps_per_epoch = steps_per_epoch
+
+    def scale_epoch(
+        self, data_load_s: float, compute_s: float, gpus: int
+    ) -> MultiGPUEpoch:
+        """Scale one epoch's single-GPU stage times to ``gpus`` workers."""
+        if gpus < 1:
+            raise ValueError("gpus must be >= 1")
+        k = gpus
+        straggle = 1.0 + self.straggler_alpha * (k - 1) / k
+        load = data_load_s / k * straggle
+        compute = compute_s / k
+        comm = 0.0
+        if k > 1:
+            comm = self.steps_per_epoch * self.comm_ms_per_step / 1e3 * 2 * (k - 1) / k
+        return MultiGPUEpoch(k, load, compute, comm)
+
+    def per_epoch_times(
+        self, result: TrainResult, gpu_counts: List[int]
+    ) -> Dict[int, float]:
+        """Mean per-epoch time for each GPU count, from a finished run."""
+        loads = result.series("data_load_s")
+        computes = result.series("compute_s")
+        out: Dict[int, float] = {}
+        for k in gpu_counts:
+            times = [
+                self.scale_epoch(float(l), float(c), k).epoch_time_s
+                for l, c in zip(loads, computes)
+            ]
+            out[k] = float(np.mean(times))
+        return out

@@ -1,0 +1,266 @@
+"""Training loop with simulated-time accounting.
+
+Drives a NumPy model through a policy (SpiderCache or baseline) and charges
+simulated time per the Fig.-2 pipeline:
+
+* **data_load** — each remote miss costs the latency model's fetch time
+  (charged by :class:`~repro.storage.backends.RemoteStore` itself), divided
+  by ``io_workers`` concurrent loader processes; cache hits cost
+  ``hit_latency_s`` each.
+* **compute** — per batch: ``stage1 + stage2 * trained_fraction`` ms from
+  the model spec (selective backprop shrinks Stage2, iCache's compute win).
+* **is_visible** — the pipeline-overlap model's *visible* slice of the
+  policy's IS cost (hidden entirely for short-IS models, Fig. 12).
+
+Real wall-clock time is spent doing genuine forward/backward math — the
+learning dynamics are real; only I/O and GPU-relative speeds are simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.semantic_cache import FetchSource
+from repro.data.loader import DataLoader
+from repro.data.synthetic import SyntheticDataset
+from repro.nn.models import Model
+from repro.nn.optim import SGD
+from repro.storage.backends import RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency, LatencyModel
+from repro.train.metrics import EpochMetrics, TrainResult
+from repro.train.pipeline import StageCostModel
+from repro.train.policy_base import PolicyContext, TrainingPolicy
+from repro.utils.rng import RngLike, resolve_rng
+
+__all__ = ["Trainer", "TrainerConfig"]
+
+
+@dataclass
+class TrainerConfig:
+    """Knobs for one training run."""
+
+    epochs: int = 30
+    batch_size: int = 128
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 0.0
+    # LR schedule: None (constant), "cosine", "step", or a ready
+    # schedule object from repro.nn.optim.
+    lr_schedule: Optional[object] = None
+    # Optional per-batch preprocessing/augmentation (repro.data.transforms);
+    # its declared per-item cost is charged to the "preprocess" stage.
+    transform: Optional[object] = None
+    io_workers: int = 4  # concurrent loader processes dividing fetch latency
+    hit_latency_s: float = 20e-6  # in-memory cache hit cost
+    eval_every: int = 1
+    reference_batch: int = 128  # batch size the Table-1 ms costs assume
+
+    def build_schedule(self):
+        """Resolve ``lr_schedule`` into a schedule object (or None)."""
+        from repro.nn.optim import CosineLR, StepLR
+
+        if self.lr_schedule is None:
+            return None
+        if self.lr_schedule == "cosine":
+            return CosineLR(self.lr, total_epochs=self.epochs)
+        if self.lr_schedule == "step":
+            return StepLR(self.lr, step_size=max(1, self.epochs // 3))
+        if isinstance(self.lr_schedule, str):
+            raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
+        return self.lr_schedule
+
+
+class Trainer:
+    """Runs ``model`` over ``train_set`` under ``policy``.
+
+    The test set is evaluated every ``eval_every`` epochs; policies receive
+    the latest accuracy in ``after_epoch`` (the Elastic Cache Manager's
+    Accuracy Monitor input).
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        train_set: SyntheticDataset,
+        test_set: SyntheticDataset,
+        policy: TrainingPolicy,
+        config: Optional[TrainerConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.model = model
+        self.train_set = train_set
+        self.test_set = test_set
+        self.policy = policy
+        self.config = config or TrainerConfig()
+        self._rng = resolve_rng(rng)
+
+        self.clock = SimClock()
+        self.store = RemoteStore(
+            train_set.X,
+            item_nbytes=train_set.item_nbytes,
+            latency=latency or ConstantLatency(),
+            clock=self.clock,
+        )
+        self.optimizer = SGD(
+            model.params(),
+            lr=self.config.lr,
+            momentum=self.config.momentum,
+            weight_decay=self.config.weight_decay,
+            schedule=self.config.build_schedule(),
+        )
+        embedding_dim = model.embedding_dim
+        policy.setup(
+            PolicyContext(
+                dataset=train_set,
+                store=self.store,
+                batch_size=self.config.batch_size,
+                total_epochs=self.config.epochs,
+                embedding_dim=embedding_dim,
+                rng=self._rng,
+            )
+        )
+        self.loader = DataLoader(
+            train_set.y, policy.fetch, batch_size=self.config.batch_size
+        )
+
+    # ------------------------------------------------------------------
+    def _stage_costs(self) -> StageCostModel:
+        spec = self.model.spec
+        policy_is = self.policy.is_ms_per_batch  # None = defer to the spec
+        if spec is not None:
+            costs = StageCostModel.from_spec(spec)
+            if policy_is is not None:
+                costs = StageCostModel(costs.stage1_ms, costs.stage2_ms,
+                                       policy_is)
+            return costs
+        return StageCostModel(42.0, 35.0,
+                              16.0 if policy_is is None else policy_is)
+
+    def run(self) -> TrainResult:
+        """Train for ``config.epochs`` epochs; returns the full run record."""
+        cfg = self.config
+        result = TrainResult(
+            policy_name=self.policy.name,
+            model_name=self.model.spec.name if self.model.spec else "custom",
+            dataset_name=self.train_set.name,
+        )
+        costs = self._stage_costs()
+        mode = costs.recommended_mode()
+        visible_is_per_batch_ms = costs.visible_is_ms(mode)
+        val_accuracy = 0.0
+
+        for epoch in range(cfg.epochs):
+            self.optimizer.set_epoch(epoch)
+            self.policy.before_epoch(epoch)
+            order = self.policy.epoch_order(epoch)
+            stats_before = _snapshot(self.policy)
+            load_before = self.clock.stage_seconds(RemoteStore.STAGE)
+
+            epoch_loss = 0.0
+            n_seen = 0
+            n_batches = 0
+            compute_s = 0.0
+            preprocess_s = 0.0
+            hits_this_epoch = 0
+            transform = cfg.transform
+
+            for batch in self.loader.iter_epoch(order):
+                self.optimizer.zero_grad()
+                x = batch.X
+                if transform is not None:
+                    x = transform(x, training=True)
+                    preprocess_s += (
+                        transform.cost_us_per_item * len(batch) / 1e6
+                    )
+                mask = None
+                trained_fraction = 1.0
+                # One forward/backward pass; policies that mask backprop
+                # (iCache) need the losses first, so their path re-runs the
+                # pass with the per-sample weights applied.
+                losses, emb = self.model.train_batch(x, batch.y)
+                mask = self.policy.backprop_mask(batch.served, losses)
+                if mask is not None:
+                    # Re-run with weights (the probe above already consumed
+                    # the layer caches, so gradients must be rebuilt).
+                    self.optimizer.zero_grad()
+                    losses, emb = self.model.train_batch(x, batch.y, mask)
+                    trained_fraction = float(np.mean(mask > 0))
+                self.optimizer.step()
+
+                self.policy.after_batch(
+                    batch.requested, batch.served, losses, emb, epoch
+                )
+
+                epoch_loss += float(losses.sum())
+                n_seen += len(batch)
+                n_batches += 1
+                hits_this_epoch += sum(
+                    1 for s in batch.sources if s != FetchSource.REMOTE
+                )
+                scale = len(batch) / cfg.reference_batch
+                compute_s += (
+                    costs.stage1_ms + costs.stage2_ms * trained_fraction
+                ) / 1e3 * scale
+
+            # Stage accounting for the epoch.
+            raw_load_s = self.clock.stage_seconds(RemoteStore.STAGE) - load_before
+            data_load_s = raw_load_s / cfg.io_workers + hits_this_epoch * cfg.hit_latency_s
+            is_visible_s = n_batches * visible_is_per_batch_ms / 1e3
+            self.clock.advance("compute", compute_s)
+            self.clock.advance("is_visible", is_visible_s)
+            if preprocess_s:
+                self.clock.advance("preprocess", preprocess_s)
+
+            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
+                val_accuracy, _ = self.model.evaluate(self.test_set.X, self.test_set.y)
+            self.policy.after_epoch(epoch, val_accuracy)
+
+            stats_after = _snapshot(self.policy)
+            d_req = stats_after[0] - stats_before[0]
+            d_hit = stats_after[1] - stats_before[1]
+            d_exact = stats_after[2] - stats_before[2]
+            d_sub = stats_after[3] - stats_before[3]
+            hit_ratio = d_hit / d_req if d_req else 0.0
+            exact_ratio = d_exact / d_req if d_req else 0.0
+            sub_ratio = d_sub / d_req if d_req else 0.0
+
+            score_std = None
+            table = getattr(self.policy, "score_table", None)
+            if table is not None and table.std_history:
+                score_std = table.std_history[-1]
+
+            result.epochs.append(
+                EpochMetrics(
+                    epoch=epoch,
+                    train_loss=epoch_loss / max(n_seen, 1),
+                    val_accuracy=val_accuracy,
+                    hit_ratio=hit_ratio,
+                    exact_hit_ratio=exact_ratio,
+                    substitute_ratio=sub_ratio,
+                    data_load_s=data_load_s,
+                    compute_s=compute_s,
+                    is_visible_s=is_visible_s,
+                    epoch_time_s=(
+                        data_load_s + compute_s + is_visible_s + preprocess_s
+                    ),
+                    imp_ratio=self.policy.imp_ratio,
+                    score_std=score_std,
+                    preprocess_s=preprocess_s,
+                )
+            )
+        return result
+
+
+def _snapshot(policy: TrainingPolicy):
+    s = policy.stats()
+    return (
+        s.requests,
+        s.hits + s.substitute_hits,
+        s.hits,
+        s.substitute_hits,
+    )

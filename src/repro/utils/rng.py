@@ -1,0 +1,45 @@
+"""Seeded RNG plumbing.
+
+Every stochastic component (samplers, dataset generators, HNSW level draws,
+latency models) accepts either a seed, an existing ``numpy.random.Generator``,
+or ``None``. Centralizing the coercion keeps experiments reproducible: a
+single integer seed at the top of a benchmark deterministically derives every
+downstream stream via ``spawn_rngs``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+__all__ = ["resolve_rng", "spawn_rngs", "RngLike"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def resolve_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    ``None`` yields a fresh nondeterministic generator; an int seeds one;
+    a Generator passes through unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"cannot make an RNG from {type(rng).__name__}")
+
+
+def spawn_rngs(rng: RngLike, n: int) -> List[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Uses ``Generator.spawn`` so the children's streams are statistically
+    independent regardless of how much the parent has been consumed.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    parent = resolve_rng(rng)
+    return list(parent.spawn(n))

@@ -1,0 +1,91 @@
+"""Exporter tests: CSV round-trips and Gantt rendering."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import (
+    render_gantt,
+    result_to_csv,
+    results_to_csv,
+    write_rows_csv,
+)
+from repro.train.metrics import EpochMetrics, TrainResult
+from repro.train.pipeline import PipelineSimulator, StageCostModel
+
+
+def _result(name="p", epochs=3):
+    r = TrainResult(name, "resnet18", "ds")
+    for e in range(epochs):
+        r.epochs.append(EpochMetrics(
+            epoch=e, train_loss=1.0 - 0.1 * e, val_accuracy=0.5 + 0.1 * e,
+            hit_ratio=0.3, exact_hit_ratio=0.25, substitute_ratio=0.05,
+            data_load_s=1.0, compute_s=0.5, is_visible_s=0.0,
+            epoch_time_s=1.5, imp_ratio=0.9, score_std=None,
+        ))
+    return r
+
+
+def test_result_csv_parses(tmp_path):
+    text = result_to_csv(_result(), tmp_path / "run.csv")
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[0][0] == "policy"
+    assert len(rows) == 4  # header + 3 epochs
+    assert rows[1][0] == "p"
+    assert float(rows[2][5]) == pytest.approx(0.6)  # val_accuracy epoch 1
+    assert (tmp_path / "run.csv").read_text() == text
+
+
+def test_result_csv_none_fields_empty():
+    text = result_to_csv(_result())
+    rows = list(csv.reader(io.StringIO(text)))
+    assert rows[1][-1] == ""  # score_std None
+
+
+def test_results_concatenated():
+    text = results_to_csv([_result("a", 2), _result("b", 2)])
+    rows = list(csv.reader(io.StringIO(text)))
+    assert len(rows) == 5  # one header + 4 data rows
+    assert {r[0] for r in rows[1:]} == {"a", "b"}
+
+
+def test_results_empty_rejected():
+    with pytest.raises(ValueError):
+        results_to_csv([])
+
+
+def test_write_rows_csv(tmp_path):
+    path = write_rows_csv(["x", "y"], [(1, 2), (3, 4)], tmp_path / "t.csv")
+    rows = list(csv.reader(path.open()))
+    assert rows == [["x", "y"], ["1", "2"], ["3", "4"]]
+
+
+def test_gantt_renders_stages():
+    sim = PipelineSimulator(StageCostModel(10, 5, 3), mode="stage2")
+    out = render_gantt(sim.schedule(3), width=60)
+    assert "1" in out and "2" in out and "#" in out
+    assert out.count("b0") == 1
+    # Two lines per batch + header.
+    assert len(out.splitlines()) == 1 + 2 * 3
+
+
+def test_gantt_max_batches():
+    sim = PipelineSimulator(StageCostModel(10, 5, 3), mode="stage2")
+    out = render_gantt(sim.schedule(5), max_batches=2)
+    assert "b2" not in out
+
+
+def test_gantt_empty():
+    assert render_gantt([]) == "(empty schedule)"
+
+
+def test_gantt_is_overlaps_stage2_visually():
+    """In stage2 mode, the IS row's marks start where stage2 starts."""
+    sim = PipelineSimulator(StageCostModel(10, 5, 5), mode="stage2")
+    out = render_gantt(sim.schedule(1), width=40)
+    lines = out.splitlines()
+    main, side = lines[1], lines[2]
+    first2 = main.index("2")
+    first_hash = side.index("#")
+    assert abs(first2 - first_hash) <= 1

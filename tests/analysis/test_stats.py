@@ -1,0 +1,71 @@
+"""Multi-seed statistics tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import MeanCI, mean_ci, paired_bootstrap_pvalue
+
+
+def test_mean_ci_contains_mean():
+    ci = mean_ci([1.0, 2.0, 3.0, 4.0], rng=0)
+    assert ci.low <= ci.mean <= ci.high
+    assert ci.mean == pytest.approx(2.5)
+
+
+def test_mean_ci_single_value_degenerate():
+    ci = mean_ci([0.7])
+    assert ci.low == ci.mean == ci.high == 0.7
+
+
+def test_mean_ci_narrows_with_more_data():
+    rng = np.random.default_rng(0)
+    small = mean_ci(rng.normal(0, 1, 5).tolist(), rng=1)
+    large = mean_ci(rng.normal(0, 1, 200).tolist(), rng=1)
+    assert (large.high - large.low) < (small.high - small.low)
+
+
+def test_mean_ci_validation():
+    with pytest.raises(ValueError):
+        mean_ci([])
+    with pytest.raises(ValueError):
+        mean_ci([1.0], level=1.5)
+
+
+def test_mean_ci_str_and_overlap():
+    a = MeanCI(0.5, 0.4, 0.6, 0.95)
+    b = MeanCI(0.55, 0.45, 0.65, 0.95)
+    c = MeanCI(0.9, 0.85, 0.95, 0.95)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)
+    assert "[0.400, 0.600]" in str(a)
+
+
+def test_paired_pvalue_clear_winner():
+    a = [0.9, 0.91, 0.92, 0.93, 0.9]
+    b = [0.5, 0.52, 0.51, 0.53, 0.5]
+    assert paired_bootstrap_pvalue(a, b, rng=0) < 0.01
+
+
+def test_paired_pvalue_no_difference():
+    rng = np.random.default_rng(1)
+    x = rng.normal(0.5, 0.05, 10)
+    p = paired_bootstrap_pvalue(x, x + rng.normal(0, 0.001, 10), rng=0)
+    assert 0.05 < p < 0.95
+
+
+def test_paired_pvalue_direction():
+    a = [0.3, 0.31, 0.32]
+    b = [0.8, 0.82, 0.81]
+    assert paired_bootstrap_pvalue(a, b, rng=0) > 0.95
+
+
+def test_paired_pvalue_validation():
+    with pytest.raises(ValueError):
+        paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        paired_bootstrap_pvalue([], [])
+
+
+def test_paired_pvalue_single_pair():
+    assert paired_bootstrap_pvalue([1.0], [0.5]) == 0.0
+    assert paired_bootstrap_pvalue([0.5], [1.0]) == 1.0

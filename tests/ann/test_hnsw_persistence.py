@@ -1,0 +1,67 @@
+"""HNSW save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.ann.hnsw import HNSWIndex
+
+
+def _build(n=120, dim=6, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n, dim))
+    idx = HNSWIndex(dim, M=8, ef_construction=48, rng=seed)
+    idx.add_batch(np.arange(n), data)
+    return idx, data
+
+
+def test_roundtrip_identical_search(tmp_path):
+    idx, data = _build()
+    path = tmp_path / "index.npz"
+    idx.save(path)
+    loaded = HNSWIndex.load(path, rng=1)
+    assert len(loaded) == len(idx)
+    assert set(loaded.ids) == set(idx.ids)
+    assert loaded.max_level == idx.max_level
+    rng = np.random.default_rng(2)
+    for q in rng.normal(size=(10, 6)):
+        a_ids, a_d = idx.search(q, k=5, ef=32)
+        b_ids, b_d = loaded.search(q, k=5, ef=32)
+        np.testing.assert_array_equal(a_ids, b_ids)
+        np.testing.assert_allclose(a_d, b_d)
+
+
+def test_roundtrip_vectors_exact(tmp_path):
+    idx, data = _build(n=30)
+    idx.save(tmp_path / "i.npz")
+    loaded = HNSWIndex.load(tmp_path / "i.npz")
+    for i in range(30):
+        np.testing.assert_array_equal(loaded.vector(i), idx.vector(i))
+
+
+def test_loaded_index_accepts_mutations(tmp_path):
+    idx, data = _build(n=40)
+    idx.save(tmp_path / "i.npz")
+    loaded = HNSWIndex.load(tmp_path / "i.npz", rng=3)
+    loaded.add(1000, np.ones(6))
+    ids, _ = loaded.search(np.ones(6), k=1, ef=32)
+    assert ids[0] == 1000
+    loaded.remove(0)
+    assert 0 not in loaded
+
+
+def test_empty_index_roundtrip(tmp_path):
+    idx = HNSWIndex(4, rng=0)
+    idx.save(tmp_path / "empty.npz")
+    loaded = HNSWIndex.load(tmp_path / "empty.npz")
+    assert len(loaded) == 0
+    ids, _ = loaded.search(np.zeros(4), k=3)
+    assert len(ids) == 0
+
+
+def test_params_preserved(tmp_path):
+    idx = HNSWIndex(5, M=7, ef_construction=33, ef_search=21, rng=0)
+    idx.add(0, np.zeros(5))
+    idx.save(tmp_path / "p.npz")
+    loaded = HNSWIndex.load(tmp_path / "p.npz")
+    assert (loaded.dim, loaded.M, loaded.ef_search) == (5, 7, 21)
+    assert loaded.ef_construction == 33

@@ -1,0 +1,217 @@
+"""Graph-based importance scoring tests (Eq. 1-4 semantics)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.graph_is import (
+    GraphImportanceScorer,
+    edge_radius,
+    importance_score,
+)
+
+
+# ----------------------------------------------------------------------
+# Eq. 2-3: similarity / edge radius
+# ----------------------------------------------------------------------
+def test_edge_radius_equivalence():
+    lam, alpha = 2.0, 0.3
+    r = edge_radius(lam, alpha)
+    # sim(r) == alpha exactly at the radius.
+    assert math.exp(-lam * r) == pytest.approx(alpha)
+
+
+def test_edge_radius_invalid():
+    with pytest.raises(ValueError):
+        edge_radius(0.0, 0.5)
+    with pytest.raises(ValueError):
+        edge_radius(1.0, 1.0)
+    with pytest.raises(ValueError):
+        edge_radius(1.0, 0.0)
+
+
+def test_similarity_monotone_decreasing():
+    s = GraphImportanceScorer(4, np.zeros(4, dtype=int), auto_calibrate=False)
+    d = np.array([0.0, 1.0, 2.0])
+    sim = s.similarity(d)
+    assert sim[0] == 1.0
+    assert np.all(np.diff(sim) < 0)
+    assert np.all((sim >= 0) & (sim <= 1))
+
+
+# ----------------------------------------------------------------------
+# Eq. 4: importance score
+# ----------------------------------------------------------------------
+def test_score_four_states_ordering():
+    """Paper Fig. 8(b): misclassified > {boundary, isolated} > well."""
+    nm = 500
+    well = importance_score([50], [0], nm)[0]
+    boundary = importance_score([50], [40], nm)[0]
+    isolated = importance_score([1], [0], nm)[0]
+    misclassified = importance_score([0], [40], nm)[0]
+    assert misclassified > boundary > well
+    assert misclassified > isolated > well
+
+
+def test_score_zero_same_capped():
+    s = importance_score([0], [0], 500, zero_same_part1=2.0)[0]
+    assert s == pytest.approx(math.log(3.0))
+    # Strictly above the one-neighbor case.
+    assert s > importance_score([1], [0], 500)[0]
+
+
+def test_score_formula_exact():
+    # score = ln(1/4 + 100/500 + 1)
+    s = importance_score([4], [100], 500)[0]
+    assert s == pytest.approx(math.log(0.25 + 0.2 + 1.0))
+
+
+def test_score_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        importance_score([-1], [0])
+
+
+def test_score_vectorized():
+    s = importance_score([1, 2, 4], [0, 10, 100], 500)
+    assert s.shape == (3,)
+    assert np.all(np.isfinite(s))
+
+
+@given(same=st.integers(0, 500), other=st.integers(0, 500))
+@settings(max_examples=200)
+def test_property_score_finite_nonneg(same, other):
+    s = importance_score([same], [other], 500)[0]
+    assert np.isfinite(s)
+    assert s >= 0.0
+
+
+@given(same=st.integers(1, 500), other=st.integers(0, 499))
+@settings(max_examples=100)
+def test_property_score_monotonicity(same, other):
+    """More other-class neighbors -> higher score; more same-class -> lower."""
+    base = importance_score([same], [other], 500)[0]
+    assert importance_score([same], [other + 1], 500)[0] > base
+    assert importance_score([same + 1], [other], 500)[0] < base
+
+
+# ----------------------------------------------------------------------
+# GraphImportanceScorer end-to-end
+# ----------------------------------------------------------------------
+def _two_cluster_scorer(auto=False):
+    """20 points in two tight, well-separated clusters."""
+    rng = np.random.default_rng(0)
+    labels = np.array([0] * 10 + [1] * 10)
+    emb = np.concatenate(
+        [rng.normal(0, 0.1, (10, 4)), rng.normal(5, 0.1, (10, 4)) ]
+    )
+    s = GraphImportanceScorer(
+        4, labels, lam=1.0, alpha=0.1, auto_calibrate=auto
+    )
+    return s, emb, labels
+
+
+def test_score_batch_clusters():
+    s, emb, labels = _two_cluster_scorer()
+    results = s.score_batch(np.arange(20), emb)
+    assert len(results) == 20
+    for ns in results:
+        # Tight clusters: every point sees its 9 same-class mates within
+        # radius 2.3 and no other-class points.
+        assert ns.x_same == 9
+        assert ns.x_other == 0
+
+
+def test_misclassified_point_scores_highest():
+    s, emb, labels = _two_cluster_scorer()
+    emb = emb.copy()
+    emb[0] = emb[15] + 0.01  # class-0 point inside class-1 cluster
+    results = s.score_batch(np.arange(20), emb)
+    scores = {ns.index: ns.score for ns in results}
+    assert scores[0] == max(scores.values())
+    r0 = [ns for ns in results if ns.index == 0][0]
+    assert r0.x_same == 0
+    assert r0.x_other == 10
+
+
+def test_top_degree_node():
+    s, emb, _ = _two_cluster_scorer()
+    results = s.score_batch(np.arange(20), emb)
+    top = s.top_degree_node(results)
+    assert top is not None
+    assert top.degree == max(ns.degree for ns in results)
+    assert s.top_degree_node([]) is None
+
+
+def test_neighbor_ids_exclude_self():
+    s, emb, _ = _two_cluster_scorer()
+    results = s.score_batch(np.arange(20), emb)
+    for ns in results:
+        assert ns.index not in ns.neighbor_ids
+
+
+def test_dynamic_update_changes_counts():
+    s, emb, _ = _two_cluster_scorer()
+    s.score_batch(np.arange(20), emb)
+    # Move point 0 into the other cluster and re-score it.
+    moved = emb.copy()
+    moved[0] = emb[15] + 0.01
+    results = s.score_batch(np.array([0]), moved[0:1])
+    assert results[0].x_other > 0
+
+
+def test_auto_calibration_adapts_radius():
+    s, emb, _ = _two_cluster_scorer(auto=True)
+    fixed_r = s._fixed_radius
+    s.score_batch(np.arange(20), emb * 100)  # huge scale
+    assert s.radius != fixed_r
+    assert s.radius > fixed_r  # scaled up with the data
+
+
+def test_effective_lam_consistent():
+    s, emb, _ = _two_cluster_scorer(auto=True)
+    s.score_batch(np.arange(20), emb)
+    r = s.radius
+    assert edge_radius(s.effective_lam, s.alpha) == pytest.approx(r)
+
+
+def test_hnsw_backend_equivalent_on_clusters():
+    rng = np.random.default_rng(1)
+    labels = np.array([0] * 15 + [1] * 15)
+    emb = np.concatenate(
+        [rng.normal(0, 0.1, (15, 4)), rng.normal(5, 0.1, (15, 4))]
+    )
+    exact = GraphImportanceScorer(4, labels, auto_calibrate=False)
+    hnsw = GraphImportanceScorer(
+        4, labels, auto_calibrate=False, backend="hnsw",
+        hnsw_kwargs={"rng": 0, "ef_search": 64},
+    )
+    re = exact.score_batch(np.arange(30), emb)
+    rh = hnsw.score_batch(np.arange(30), emb)
+    # Tight clusters: both backends find the same neighbor counts.
+    for a, b in zip(re, rh):
+        assert a.x_same == b.x_same
+        assert a.x_other == b.x_other
+
+
+def test_unknown_backend():
+    with pytest.raises(ValueError):
+        GraphImportanceScorer(4, np.zeros(2, dtype=int), backend="faiss")
+
+
+def test_mismatched_batch_rejected():
+    s, emb, _ = _two_cluster_scorer()
+    with pytest.raises(ValueError):
+        s.score_batch(np.arange(3), emb[:2])
+
+
+def test_neighbormax_caps_range_results():
+    rng = np.random.default_rng(2)
+    labels = np.zeros(50, dtype=int)
+    emb = rng.normal(0, 0.01, (50, 4))  # all mutually close
+    s = GraphImportanceScorer(4, labels, neighbormax=10, auto_calibrate=False)
+    results = s.score_batch(np.arange(50), emb)
+    for ns in results:
+        assert len(ns.neighbor_ids) <= 10

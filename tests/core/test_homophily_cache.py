@@ -1,0 +1,122 @@
+"""HomophilyCache tests."""
+
+import pytest
+
+from repro.core.homophily_cache import HomophilyCache
+
+
+def test_update_and_cover():
+    c = HomophilyCache(2)
+    assert c.update(10, "payload10", [1, 2, 3])
+    assert c.covers(1) and c.covers(2) and c.covers(10)
+    assert not c.covers(99)
+
+
+def test_lookup_substitute():
+    """Fig. 9 case 3: a neighbor request returns the high-degree node."""
+    c = HomophilyCache(2)
+    c.update(10, "p10", [1, 2])
+    key, payload = c.lookup(1)
+    assert key == 10
+    assert payload == "p10"
+    assert c.stats.substitute_hits == 1
+
+
+def test_lookup_node_itself_exact_hit():
+    c = HomophilyCache(2)
+    c.update(10, "p10", [1])
+    key, payload = c.lookup(10)
+    assert key == 10
+    assert c.stats.hits == 1
+    assert c.stats.substitute_hits == 0
+
+
+def test_lookup_miss():
+    c = HomophilyCache(2)
+    c.update(10, "p10", [1])
+    assert c.lookup(5) is None
+    assert c.stats.misses == 1
+
+
+def test_fifo_eviction():
+    c = HomophilyCache(2)
+    c.update(1, "a", [10])
+    c.update(2, "b", [20])
+    c.update(3, "c", [30])  # evicts 1
+    assert 1 not in c
+    assert not c.covers(10)
+    assert c.covers(20) and c.covers(30)
+    assert c.stats.evictions == 1
+
+
+def test_duplicate_node_skipped():
+    """Paper: only nodes 'not previously in the Homophily Cache' enter."""
+    c = HomophilyCache(2)
+    assert c.update(1, "a", [10])
+    assert not c.update(1, "a2", [99])
+    key, payload = c.lookup(10)
+    assert payload == "a"
+    assert not c.covers(99)
+
+
+def test_most_recent_cover_wins():
+    c = HomophilyCache(3)
+    c.update(1, "a", [10])
+    c.update(2, "b", [10])  # 10 covered by both
+    key, payload = c.lookup(10)
+    assert key == 2 and payload == "b"
+
+
+def test_eviction_cleans_neighbor_map():
+    c = HomophilyCache(1)
+    c.update(1, "a", [10, 11])
+    c.update(2, "b", [10])
+    # 1 evicted: 11 uncovered, 10 still covered by 2.
+    assert not c.covers(11)
+    key, _ = c.lookup(10)
+    assert key == 2
+
+
+def test_shrink_and_grow():
+    c = HomophilyCache(3)
+    for i in range(3):
+        c.update(i, f"p{i}", [100 + i])
+    evicted = c.shrink_to(1)
+    assert evicted == [0, 1]  # oldest first
+    assert c.capacity == 1
+    assert 2 in c
+    c.grow_to(5)
+    assert c.capacity == 5
+    with pytest.raises(ValueError):
+        c.grow_to(2)
+    with pytest.raises(ValueError):
+        c.shrink_to(-1)
+
+
+def test_zero_capacity_rejects():
+    c = HomophilyCache(0)
+    assert not c.update(1, "a", [2])
+    assert c.lookup(2) is None
+
+
+def test_neighbor_list_accessor():
+    c = HomophilyCache(2)
+    c.update(1, "a", [5, 6])
+    assert c.neighbor_list(1) == (5, 6)
+    with pytest.raises(KeyError):
+        c.neighbor_list(99)
+
+
+def test_covered_count():
+    c = HomophilyCache(2)
+    c.update(1, "a", [5, 6])
+    c.update(2, "b", [6, 7])
+    # nodes {1,2} + neighbors {5,6,7}
+    assert c.covered_count == 5
+
+
+def test_keys_in_fifo_order():
+    c = HomophilyCache(3)
+    c.update(3, "x", [1])
+    c.update(1, "y", [2])
+    assert c.keys() == [3, 1]

@@ -1,0 +1,137 @@
+"""ImportanceCache (min-heap cache) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance_cache import ImportanceCache
+
+
+def test_admit_until_full():
+    c = ImportanceCache(3)
+    assert c.admit(1, "a", 0.5)
+    assert c.admit(2, "b", 0.1)
+    assert c.admit(3, "c", 0.9)
+    assert len(c) == 3
+    assert c.min_score() == 0.1
+
+
+def test_admit_rejects_below_minimum():
+    """Fig. 9 case 2: incoming score below heap minimum is rejected."""
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    c.admit(2, "b", 0.3)
+    assert not c.admit(3, "c", 0.2)
+    assert 3 not in c
+    assert len(c) == 2
+
+
+def test_admit_evicts_minimum():
+    """Fig. 9 case 4: higher score evicts the current minimum."""
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    c.admit(2, "b", 0.3)
+    assert c.admit(3, "c", 0.6)
+    assert 2 not in c
+    assert 1 in c and 3 in c
+    assert c.stats.evictions == 1
+
+
+def test_admit_equal_score_rejected():
+    c = ImportanceCache(1)
+    c.admit(1, "a", 0.3)
+    assert not c.admit(2, "b", 0.3)  # strict inequality required
+
+
+def test_get_hit_miss_stats():
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    assert c.get(1) == "a"
+    assert c.get(2) is None
+    assert c.stats.hits == 1
+    assert c.stats.misses == 1
+
+
+def test_admit_existing_refreshes():
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    assert c.admit(1, "a2", 0.7)
+    assert c.get(1) == "a2"
+    assert len(c) == 1
+
+
+def test_zero_capacity():
+    c = ImportanceCache(0)
+    assert not c.admit(1, "a", 1.0)
+    assert c.min_score() is None
+
+
+def test_negative_capacity():
+    with pytest.raises(ValueError):
+        ImportanceCache(-1)
+
+
+def test_update_score_changes_eviction_order():
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    c.admit(2, "b", 0.6)
+    c.update_score(2, 0.1)  # now 2 is least important
+    c.admit(3, "c", 0.4)
+    assert 2 not in c
+    assert 1 in c
+
+
+def test_update_score_absent_noop():
+    c = ImportanceCache(2)
+    c.update_score(99, 1.0)  # must not raise
+    assert len(c) == 0
+
+
+def test_shrink_evicts_least_important():
+    c = ImportanceCache(4)
+    for i, s in enumerate([0.4, 0.1, 0.9, 0.5]):
+        c.admit(i, i, s)
+    evicted = c.shrink_to(2)
+    assert set(evicted) == {1, 0}  # lowest scores out first
+    assert c.capacity == 2
+    assert 2 in c and 3 in c
+
+
+def test_grow_after_shrink():
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    c.shrink_to(1)
+    c.grow_to(3)
+    assert c.capacity == 3
+    with pytest.raises(ValueError):
+        c.grow_to(1)
+
+
+def test_scores_snapshot():
+    c = ImportanceCache(2)
+    c.admit(1, "a", 0.5)
+    c.admit(2, "b", 0.3)
+    snap = dict(c.scores_snapshot())
+    assert snap == {1: 0.5, 2: 0.3}
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 30), st.floats(0, 10, allow_nan=False)),
+        max_size=150,
+    ),
+    cap=st.integers(1, 8),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_resident_scores_dominate(ops, cap):
+    """After any admit sequence, every resident's score >= every rejected
+    final admission attempt, and size never exceeds capacity."""
+    c = ImportanceCache(cap)
+    for key, score in ops:
+        c.admit(key, key, score)
+        assert len(c) <= cap
+        if len(c) == cap:
+            m = c.min_score()
+            # Heap minimum is really the minimum.
+            assert all(s >= m for _, s in c.scores_snapshot())

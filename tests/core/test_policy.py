@@ -1,0 +1,159 @@
+"""SpiderCachePolicy tests against a real trainer context."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import SpiderCachePolicy
+from repro.core.semantic_cache import FetchSource
+from repro.data.synthetic import make_clustered_dataset, train_test_split
+from repro.nn.models import build_model
+from repro.storage.backends import RemoteStore
+from repro.train.policy_base import PolicyContext
+
+
+def _ctx(n=200, classes=4, seed=0):
+    ds = make_clustered_dataset(n, n_classes=classes, dim=8, rng=seed)
+    store = RemoteStore(ds.X, item_nbytes=ds.item_nbytes)
+    return PolicyContext(
+        dataset=ds, store=store, batch_size=32, total_epochs=10,
+        embedding_dim=16, rng=np.random.default_rng(1),
+    )
+
+
+def _setup_policy(**kw):
+    ctx = _ctx()
+    p = SpiderCachePolicy(rng=2, **kw)
+    p.setup(ctx)
+    return p, ctx
+
+
+def test_setup_builds_components():
+    p, ctx = _setup_policy(cache_fraction=0.2)
+    assert p.score_table is not None and len(p.score_table) == 200
+    assert p.cache is not None and p.cache.total_capacity == 40
+    assert p.scorer is not None
+    assert p.manager is not None
+
+
+def test_use_before_setup_raises():
+    p = SpiderCachePolicy()
+    with pytest.raises(RuntimeError):
+        p._require_ctx()
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(cache_fraction=1.5)
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(hom_neighbor_limit=0)
+
+
+def test_epoch_order_length_and_range():
+    p, ctx = _setup_policy()
+    order = p.epoch_order(0)
+    assert len(order) == 200
+    assert order.min() >= 0 and order.max() < 200
+
+
+def test_fetch_miss_then_hit():
+    p, ctx = _setup_policy(cache_fraction=0.5)
+    o1 = p.fetch(3)
+    assert o1.source == FetchSource.REMOTE
+    o2 = p.fetch(3)
+    assert o2.source == FetchSource.IMPORTANCE
+    np.testing.assert_array_equal(o2.payload, ctx.dataset.X[3])
+
+
+def test_after_batch_updates_scores():
+    p, ctx = _setup_policy()
+    ids = np.arange(32)
+    emb = np.random.default_rng(3).normal(size=(32, 16))
+    losses = np.ones(32)
+    p.after_batch(ids, ids, losses, emb, epoch=0)
+    assert p.score_table.coverage > 0
+    assert p.scorer.indexed_count == 32
+
+
+def test_after_batch_duplicate_served_ids():
+    """With-replacement sampling repeats ids; scoring must deduplicate."""
+    p, ctx = _setup_policy()
+    ids = np.array([1, 2, 1, 3, 2, 1])
+    emb = np.random.default_rng(4).normal(size=(6, 16))
+    p.after_batch(ids, ids, np.ones(6), emb, epoch=0)
+    assert p.scorer.indexed_count == 3
+
+
+def test_homophily_updated_with_top_degree_node():
+    p, ctx = _setup_policy(cache_fraction=0.5)
+    # Two tight same-class sub-clusters far apart: the auto-calibrated
+    # radius (a fraction of the median distance) then captures the
+    # within-cluster neighbors.
+    labels = ctx.dataset.y
+    cls0 = np.flatnonzero(labels == labels[0])[:20]
+    rng = np.random.default_rng(5)
+    emb = np.concatenate([
+        rng.normal(0.0, 0.01, size=(10, 16)),
+        rng.normal(3.0, 0.01, size=(10, 16)),
+    ])
+    p.after_batch(cls0, cls0, np.ones(20), emb, epoch=0)
+    assert len(p.cache.homophily) == 1
+
+
+def test_homophily_neighbor_class_filter():
+    p, ctx = _setup_policy(cache_fraction=0.5, hom_same_class_only=True)
+    labels = ctx.dataset.y
+    # Mixed-class tight cluster: filtered neighbor lists stay same-class.
+    ids = np.arange(20)
+    emb = np.random.default_rng(6).normal(0, 0.01, size=(20, 16))
+    p.after_batch(ids, ids, np.ones(20), emb, epoch=0)
+    for key in p.cache.homophily.keys():
+        for n in p.cache.homophily.neighbor_list(key):
+            assert labels[n] == labels[key]
+
+
+def test_hom_neighbor_limit_respected():
+    p, ctx = _setup_policy(cache_fraction=0.5, hom_neighbor_limit=3,
+                           hom_same_class_only=False)
+    ids = np.arange(30)
+    emb = np.random.default_rng(7).normal(0, 0.01, size=(30, 16))
+    p.after_batch(ids, ids, np.ones(30), emb, epoch=0)
+    for key in p.cache.homophily.keys():
+        assert len(p.cache.homophily.neighbor_list(key)) <= 3
+
+
+def test_after_epoch_elastic_adjusts():
+    p, ctx = _setup_policy(cache_fraction=0.5, elastic=True)
+    # Feed a rise-then-fall std by direct injection + accuracy plateau.
+    for e in range(10):
+        ids = np.random.default_rng(e).integers(0, 200, 32)
+        uniq = np.unique(ids)
+        emb = np.random.default_rng(100 + e).normal(size=(len(ids), 16))
+        p.after_batch(ids, ids, np.ones(len(ids)), emb, epoch=e)
+        p.after_epoch(e, val_accuracy=0.5)
+    assert len(p.score_table.std_history) == 10
+    assert len(p.manager.history) == 10
+
+
+def test_elastic_disabled_keeps_ratio():
+    p, ctx = _setup_policy(cache_fraction=0.5, elastic=False, r_start=0.9)
+    for e in range(5):
+        p.after_epoch(e, 0.5)
+    assert p.imp_ratio == 0.9
+
+
+def test_stats_delegates_to_cache():
+    p, ctx = _setup_policy(cache_fraction=0.5)
+    p.fetch(0)
+    p.fetch(0)
+    s = p.stats()
+    assert s.requests == 2
+    assert s.hits == 1
+
+
+def test_is_only_mode_zero_cache():
+    p, ctx = _setup_policy(cache_fraction=0.0)
+    out = p.fetch(5)
+    assert out.source == FetchSource.REMOTE
+    out = p.fetch(5)
+    assert out.source == FetchSource.REMOTE  # nothing cached
+    assert p.stats().hit_ratio == 0.0

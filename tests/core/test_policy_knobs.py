@@ -1,0 +1,150 @@
+"""Tests for SpiderCachePolicy's calibration knobs (DESIGN.md §6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import SpiderCachePolicy
+from repro.data.synthetic import make_clustered_dataset
+from repro.storage.backends import RemoteStore
+from repro.train.policy_base import PolicyContext
+
+
+def _ctx(n=200, classes=4, seed=0):
+    ds = make_clustered_dataset(n, n_classes=classes, dim=8, rng=seed)
+    store = RemoteStore(ds.X, item_nbytes=ds.item_nbytes)
+    return PolicyContext(
+        dataset=ds, store=store, batch_size=32, total_epochs=10,
+        embedding_dim=16, rng=np.random.default_rng(1),
+    )
+
+
+def test_invalid_knobs():
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(uniform_mix=1.5)
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(score_floor=-0.1)
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(hom_radius_scale=0.0)
+    with pytest.raises(ValueError):
+        SpiderCachePolicy(hom_radius_scale=1.5)
+
+
+def test_mixed_weights_sum_to_near_one():
+    p = SpiderCachePolicy(uniform_mix=0.3, rng=0)
+    p.setup(_ctx())
+    w = p._mixed_weights()
+    assert w.shape == (200,)
+    assert w.sum() == pytest.approx(1.0, abs=1e-9)
+    assert np.all(w > 0)
+
+
+def test_uniform_mix_one_is_uniform():
+    p = SpiderCachePolicy(uniform_mix=1.0, rng=0)
+    p.setup(_ctx())
+    # Skew the scores heavily; mix=1.0 must ignore them.
+    p.score_table.update(np.array([0]), np.array([100.0]), epoch=0)
+    w = p._mixed_weights()
+    np.testing.assert_allclose(w, 1.0 / 200, atol=1e-12)
+
+
+def test_score_floor_bounds_oversampling():
+    p = SpiderCachePolicy(uniform_mix=0.0, score_floor=0.1, rng=0)
+    p.setup(_ctx())
+    scores = np.full(200, 0.001)
+    scores[0] = 1.0
+    p.score_table.update(np.arange(200), scores, epoch=0)
+    w = p._mixed_weights()
+    # Floor guarantees max/min ratio <= 1/score_floor.
+    assert w.max() / w.min() <= 1.0 / 0.1 + 1e-9
+
+
+def test_score_floor_zero_keeps_raw_ratio():
+    p = SpiderCachePolicy(uniform_mix=0.0, score_floor=0.0, rng=0)
+    p.setup(_ctx())
+    scores = np.full(200, 0.001)
+    scores[0] = 1.0
+    p.score_table.update(np.arange(200), scores, epoch=0)
+    w = p._mixed_weights()
+    assert w.max() / w.min() > 100
+
+
+def test_hom_radius_scale_gates_neighbors():
+    """Only neighbors within hom_radius_scale x radius enter the entry."""
+    ctx = _ctx()
+    tight = SpiderCachePolicy(cache_fraction=0.5, hom_radius_scale=0.05,
+                              hom_same_class_only=False, rng=2)
+    loose = SpiderCachePolicy(cache_fraction=0.5, hom_radius_scale=1.0,
+                              hom_same_class_only=False, rng=2)
+    rng = np.random.default_rng(5)
+    # Two sub-clusters: near-duplicates within, spread across.
+    emb = np.concatenate([
+        rng.normal(0.0, 0.02, size=(10, 16)),
+        rng.normal(1.0, 0.4, size=(10, 16)),
+    ])
+    ids = np.arange(20)
+    for p in (tight, loose):
+        p.setup(_ctx())
+        p.after_batch(ids, ids, np.ones(20), emb, epoch=0)
+    def covered(p):
+        return sum(
+            len(p.cache.homophily.neighbor_list(k))
+            for k in p.cache.homophily.keys()
+        )
+    assert covered(loose) >= covered(tight)
+
+
+def test_neighbor_dists_sorted_and_within_radius():
+    from repro.core.graph_is import GraphImportanceScorer
+
+    rng = np.random.default_rng(0)
+    labels = np.zeros(30, dtype=int)
+    emb = np.concatenate([rng.normal(0, 0.1, (15, 4)), rng.normal(4, 0.1, (15, 4))])
+    s = GraphImportanceScorer(4, labels, auto_calibrate=False)
+    for ns in s.score_batch(np.arange(30), emb):
+        assert len(ns.neighbor_dists) == len(ns.neighbor_ids)
+        assert np.all(np.diff(ns.neighbor_dists) >= 0)
+        assert np.all(ns.neighbor_dists <= s.radius + 1e-9)
+
+
+def test_same_class_scale_calibration():
+    """The EMA scale tracks same-class distances, not the overall median."""
+    from repro.core.graph_is import GraphImportanceScorer
+
+    rng = np.random.default_rng(1)
+    labels = np.array([0] * 16 + [1] * 16)
+    # Same-class pairs tight (0.1), cross-class far (10).
+    emb = np.concatenate([rng.normal(0, 0.1, (16, 4)), rng.normal(10, 0.1, (16, 4))])
+    s = GraphImportanceScorer(4, labels)
+    s.score_batch(np.arange(32), emb)
+    # Overall median pairwise distance ~ 17 (cross pairs dominate or split);
+    # same-class median ~ 0.1 * sqrt(8) ~ 0.4. Radius must track the latter.
+    assert s.radius < 2.0
+
+
+def test_elastic_monotone_clamp():
+    from repro.core.elastic import ElasticCacheManager
+
+    mgr = ElasticCacheManager(total_epochs=30, r_start=0.9, r_end=0.5)
+    # Declining std activates beta; oscillating accuracy would make Eq. 8
+    # bounce without the clamp.
+    rngacc = [0.2, 0.8, 0.2, 0.8, 0.2, 0.8] * 5
+    stds = np.linspace(1.0, 0.1, 30)
+    ratios = [mgr.step(e, stds[e], rngacc[e]) for e in range(30)]
+    assert all(a >= b for a, b in zip(ratios, ratios[1:]))
+
+
+def test_icache_uniform_mix_validation():
+    from repro.baselines.icache import ICacheImpPolicy
+
+    with pytest.raises(ValueError):
+        ICacheImpPolicy(uniform_mix=-0.1)
+    p = ICacheImpPolicy(uniform_mix=0.7, rng=0)
+    p.setup(_ctx())
+    w = p._mixed_weights()
+    assert w.sum() == pytest.approx(1.0, abs=1e-9)
+    # The uniform component floors every weight at 0.7/n, and the
+    # importance component is bounded by 0.3 even for an extreme score.
+    p.score_table.update(np.array([0]), np.array([50.0]), epoch=0)
+    w = p._mixed_weights()
+    assert w.min() >= 0.7 / 200 - 1e-12
+    assert w.max() <= 0.3 + 0.7 / 200 + 1e-12

@@ -1,0 +1,79 @@
+"""Sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.sampler import MultinomialSampler, SequentialSampler, UniformSampler
+
+
+def test_uniform_is_permutation():
+    s = UniformSampler(100, rng=0)
+    order = s.epoch_order(0)
+    assert sorted(order.tolist()) == list(range(100))
+
+
+def test_uniform_differs_across_epochs():
+    s = UniformSampler(50, rng=0)
+    assert not np.array_equal(s.epoch_order(0), s.epoch_order(1))
+
+
+def test_uniform_invalid():
+    with pytest.raises(ValueError):
+        UniformSampler(0)
+
+
+def test_sequential_identity():
+    s = SequentialSampler(10)
+    np.testing.assert_array_equal(s.epoch_order(3), np.arange(10))
+
+
+def test_multinomial_respects_weights():
+    """High-weight samples appear far more often (the Fig. 5 skew)."""
+    n = 100
+    w = np.ones(n)
+    w[:10] = 50.0
+    s = MultinomialSampler(n, weight_fn=lambda: w, epoch_size=20000, rng=0)
+    order = s.epoch_order(0)
+    counts = np.bincount(order, minlength=n)
+    assert counts[:10].mean() > 20 * counts[10:].mean()
+
+
+def test_multinomial_epoch_size_default():
+    s = MultinomialSampler(37, weight_fn=lambda: np.ones(37), rng=0)
+    assert len(s.epoch_order(0)) == 37
+
+
+def test_multinomial_with_replacement():
+    w = np.zeros(10)
+    w[3] = 1.0
+    s = MultinomialSampler(10, weight_fn=lambda: w, epoch_size=5, rng=0)
+    np.testing.assert_array_equal(s.epoch_order(0), [3] * 5)
+
+
+def test_multinomial_degenerate_weights_uniform():
+    s = MultinomialSampler(20, weight_fn=lambda: np.zeros(20), epoch_size=1000, rng=0)
+    order = s.epoch_order(0)
+    counts = np.bincount(order, minlength=20)
+    assert counts.min() > 10  # every sample drawn
+
+
+def test_multinomial_negative_weights_rejected():
+    s = MultinomialSampler(3, weight_fn=lambda: np.array([1.0, -1.0, 1.0]), rng=0)
+    with pytest.raises(ValueError):
+        s.epoch_order(0)
+
+
+def test_multinomial_wrong_length_rejected():
+    s = MultinomialSampler(3, weight_fn=lambda: np.ones(4), rng=0)
+    with pytest.raises(ValueError):
+        s.epoch_order(0)
+
+
+def test_multinomial_weights_reread_each_epoch():
+    state = {"w": np.ones(10)}
+    s = MultinomialSampler(10, weight_fn=lambda: state["w"], epoch_size=500, rng=0)
+    s.epoch_order(0)
+    state["w"] = np.zeros(10)
+    state["w"][0] = 1.0
+    order = s.epoch_order(1)
+    assert np.all(order == 0)

@@ -1,0 +1,97 @@
+"""GlobalScoreTable tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scores import GlobalScoreTable
+
+
+def test_initial_scores_uniform():
+    t = GlobalScoreTable(10, initial_score=1.0)
+    assert len(t) == 10
+    np.testing.assert_array_equal(t.scores, np.ones(10))
+    assert t.coverage == 0.0
+
+
+def test_invalid_init():
+    with pytest.raises(ValueError):
+        GlobalScoreTable(0)
+    with pytest.raises(ValueError):
+        GlobalScoreTable(5, initial_score=0.0)
+
+
+def test_update_and_get():
+    t = GlobalScoreTable(5)
+    t.update(np.array([1, 3]), np.array([0.5, 2.0]), epoch=0)
+    assert t.get(1) == 0.5
+    assert t.get(3) == 2.0
+    assert t.get(0) == 1.0
+    assert t.coverage == pytest.approx(0.4)
+
+
+def test_update_shape_mismatch():
+    t = GlobalScoreTable(5)
+    with pytest.raises(ValueError):
+        t.update(np.array([1]), np.array([0.5, 1.0]))
+
+
+def test_negative_scores_rejected():
+    t = GlobalScoreTable(5)
+    with pytest.raises(ValueError):
+        t.update(np.array([0]), np.array([-0.1]))
+
+
+def test_scores_view_readonly():
+    t = GlobalScoreTable(3)
+    with pytest.raises(ValueError):
+        t.scores[0] = 2.0
+
+
+def test_staleness():
+    t = GlobalScoreTable(4)
+    t.update(np.array([0]), np.array([1.0]), epoch=2)
+    st = t.staleness(epoch=5)
+    assert st[0] == 3
+    assert st[1] == 6  # never updated: epoch + 1
+
+
+def test_sampling_weights_normalized():
+    t = GlobalScoreTable(8)
+    t.update(np.arange(8), np.linspace(0.1, 2.0, 8), epoch=0)
+    w = t.sampling_weights()
+    assert w.sum() == pytest.approx(1.0)
+    assert np.all(w > 0)
+    assert w.argmax() == 7
+
+
+def test_sampling_weights_floor():
+    t = GlobalScoreTable(3)
+    t.update(np.array([0]), np.array([0.0]), epoch=0)
+    w = t.sampling_weights(floor=1e-6)
+    assert w[0] > 0
+
+
+def test_snapshot_std_only_updated():
+    t = GlobalScoreTable(10)
+    # Before any update: zero (all defaults).
+    assert t.snapshot_std() == 0.0
+    t.update(np.array([0, 1]), np.array([1.0, 3.0]), epoch=0)
+    std = t.snapshot_std()
+    assert std == pytest.approx(1.0)  # std of [1, 3]
+    assert t.std_history == [0.0, std]
+
+
+def test_recent_std_slope():
+    t = GlobalScoreTable(2)
+    t.std_history.extend([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert t.recent_std_slope(window=5) == pytest.approx(1.0)
+    t.std_history.extend([4.0, 3.0, 2.0, 1.0, 0.0])
+    assert t.recent_std_slope(window=5) == pytest.approx(-1.0)
+
+
+def test_recent_std_slope_insufficient():
+    t = GlobalScoreTable(2)
+    t.std_history.append(1.0)
+    assert t.recent_std_slope(window=5) is None
+    with pytest.raises(ValueError):
+        t.recent_std_slope(window=1)

@@ -1,0 +1,76 @@
+"""DataLoader tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.semantic_cache import FetchOutcome, FetchSource
+from repro.data.loader import Batch, DataLoader
+
+
+def _identity_fetch(payloads):
+    def fetch(i):
+        return FetchOutcome(i, i, payloads[i], FetchSource.REMOTE)
+
+    return fetch
+
+
+def test_batching_sizes():
+    payloads = np.arange(10.0)[:, None]
+    labels = np.arange(10) % 3
+    dl = DataLoader(labels, _identity_fetch(payloads), batch_size=4)
+    batches = list(dl.iter_epoch(np.arange(10)))
+    assert [len(b) for b in batches] == [4, 4, 2]
+
+
+def test_collation_matches_order():
+    payloads = np.arange(20.0)[:, None]
+    labels = np.arange(20)
+    dl = DataLoader(labels, _identity_fetch(payloads), batch_size=8)
+    order = np.array([5, 3, 9, 1, 0, 7, 2, 8])
+    (batch,) = list(dl.iter_epoch(order))
+    np.testing.assert_array_equal(batch.requested, order)
+    np.testing.assert_array_equal(batch.X[:, 0], order.astype(float))
+    np.testing.assert_array_equal(batch.y, order)
+
+
+def test_substitution_labels_follow_served():
+    payloads = np.arange(10.0)[:, None]
+    labels = np.arange(10) * 10
+
+    def fetch(i):
+        # Every request for an odd id is served id-1 instead.
+        served = i - 1 if i % 2 else i
+        return FetchOutcome(i, served, payloads[served], FetchSource.HOMOPHILY)
+
+    dl = DataLoader(labels, fetch, batch_size=4)
+    (b,) = list(dl.iter_epoch(np.array([1, 2, 3, 4])))
+    np.testing.assert_array_equal(b.served, [0, 2, 2, 4])
+    np.testing.assert_array_equal(b.y, [0, 20, 20, 40])
+    assert b.substitution_count == 2
+
+
+def test_invalid_batch_size():
+    with pytest.raises(ValueError):
+        DataLoader(np.zeros(2, dtype=int), lambda i: None, batch_size=0)
+
+
+def test_sources_recorded():
+    payloads = np.zeros((4, 1))
+
+    def fetch(i):
+        src = FetchSource.IMPORTANCE if i < 2 else FetchSource.REMOTE
+        return FetchOutcome(i, i, payloads[i], src)
+
+    dl = DataLoader(np.zeros(4, dtype=int), fetch, batch_size=4)
+    (b,) = list(dl.iter_epoch(np.arange(4)))
+    assert b.sources == [
+        FetchSource.IMPORTANCE,
+        FetchSource.IMPORTANCE,
+        FetchSource.REMOTE,
+        FetchSource.REMOTE,
+    ]
+
+
+def test_empty_order_yields_nothing():
+    dl = DataLoader(np.zeros(4, dtype=int), lambda i: None, batch_size=2)
+    assert list(dl.iter_epoch(np.array([], dtype=int))) == []

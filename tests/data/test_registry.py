@@ -1,0 +1,44 @@
+"""Dataset preset registry tests."""
+
+import pytest
+
+from repro.data.registry import DATASET_PRESETS, make_dataset
+
+
+def test_presets_exist():
+    assert {"cifar10-like", "cifar100-like", "imagenet-like"} <= set(DATASET_PRESETS)
+
+
+def test_unknown_preset():
+    with pytest.raises(KeyError):
+        make_dataset("mnist-like")
+
+
+def test_cifar10_like_structure():
+    ds = make_dataset("cifar10-like", rng=0, n_samples=500)
+    assert len(ds) == 500
+    assert ds.num_classes == 10
+    assert ds.item_nbytes == 3 * 1024
+
+
+def test_cifar100_has_10x_classes():
+    c10 = DATASET_PRESETS["cifar10-like"]
+    c100 = DATASET_PRESETS["cifar100-like"]
+    assert c100["n_classes"] == 10 * c10["n_classes"]
+    assert c100["n_samples"] == c10["n_samples"]
+
+
+def test_imagenet_like_large_items():
+    ds = make_dataset("imagenet-like", rng=0, n_samples=300)
+    assert ds.item_nbytes > 50 * 1024
+
+
+def test_override_kwargs():
+    ds = make_dataset("cifar10-like", rng=0, n_samples=100, dim=8)
+    assert ds.dim == 8
+
+
+def test_default_sizes_sane():
+    for name, p in DATASET_PRESETS.items():
+        assert p["n_samples"] >= 1000, name
+        assert p["n_classes"] >= 10, name

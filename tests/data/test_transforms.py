@@ -1,0 +1,123 @@
+"""Transform tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    Compose,
+    FeatureDropout,
+    GaussianNoise,
+    HorizontalFlipImage,
+    Normalize,
+    RandomScale,
+    RandomShiftImage,
+)
+
+
+def test_normalize_standardizes():
+    rng = np.random.default_rng(0)
+    data = rng.normal(5.0, 3.0, (500, 8))
+    t = Normalize.fit(data)
+    out = t(data)
+    np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_normalize_zero_std_guard():
+    data = np.ones((10, 3))
+    t = Normalize.fit(data)  # constant features -> std forced to 1
+    out = t(data)
+    assert np.isfinite(out).all()
+    with pytest.raises(ValueError):
+        Normalize(np.zeros(2), np.array([1.0, 0.0]))
+
+
+def test_normalize_deterministic_eval():
+    t = Normalize(np.zeros(3), np.ones(3))
+    x = np.random.default_rng(1).normal(size=(4, 3))
+    np.testing.assert_array_equal(t(x, training=False), t(x, training=True))
+
+
+def test_gaussian_noise_train_only():
+    t = GaussianNoise(sigma=0.5, rng=0)
+    x = np.zeros((100, 10))
+    out_train = t(x, training=True)
+    out_eval = t(x, training=False)
+    assert out_train.std() > 0.3
+    np.testing.assert_array_equal(out_eval, x)
+    with pytest.raises(ValueError):
+        GaussianNoise(sigma=-1)
+
+
+def test_feature_dropout_fraction():
+    t = FeatureDropout(p=0.3, rng=0)
+    x = np.ones((200, 50))
+    out = t(x, training=True)
+    assert 0.25 < (out == 0).mean() < 0.35
+    np.testing.assert_array_equal(t(x, training=False), x)
+    with pytest.raises(ValueError):
+        FeatureDropout(p=1.0)
+
+
+def test_random_scale_bounds():
+    t = RandomScale(0.5, 2.0, rng=0)
+    x = np.ones((100, 4))
+    out = t(x, training=True)
+    per_sample = out[:, 0]
+    assert np.all((per_sample >= 0.5) & (per_sample <= 2.0))
+    # Scale is constant within a sample.
+    np.testing.assert_allclose(out, per_sample[:, None] * np.ones((100, 4)))
+    with pytest.raises(ValueError):
+        RandomScale(2.0, 1.0)
+
+
+def test_random_shift_preserves_content():
+    t = RandomShiftImage(max_shift=2, rng=0)
+    x = np.random.default_rng(2).normal(size=(5, 1, 8, 8))
+    out = t(x, training=True)
+    # Circular shift preserves the multiset of pixel values per image.
+    for i in range(5):
+        np.testing.assert_allclose(np.sort(out[i].ravel()),
+                                   np.sort(x[i].ravel()))
+    with pytest.raises(ValueError):
+        t(np.zeros((2, 8)), training=True)
+
+
+def test_horizontal_flip_probability():
+    t = HorizontalFlipImage(p=1.0, rng=0)
+    x = np.arange(8.0).reshape(1, 1, 2, 4)
+    out = t(x, training=True)
+    np.testing.assert_array_equal(out[0, 0, 0], [3, 2, 1, 0])
+    t0 = HorizontalFlipImage(p=0.0, rng=0)
+    np.testing.assert_array_equal(t0(x, training=True), x)
+
+
+def test_compose_order_and_cost():
+    t = Compose([Normalize(np.zeros(4), np.full(4, 2.0)), RandomScale(rng=0)])
+    assert t.cost_us_per_item == pytest.approx(
+        Normalize.cost_us_per_item + RandomScale.cost_us_per_item
+    )
+    x = np.full((3, 4), 4.0)
+    out = t(x, training=False)
+    np.testing.assert_array_equal(out, np.full((3, 4), 2.0))
+
+
+def test_trainer_charges_preprocess_stage():
+    from repro.data.synthetic import make_clustered_dataset, train_test_split
+    from repro.nn.models import build_model
+    from repro.train.policy_base import TrainingPolicy
+    from repro.train.trainer import Trainer, TrainerConfig
+
+    ds = make_clustered_dataset(300, n_classes=4, dim=8, rng=0)
+    train, test = train_test_split(ds, rng=1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+    t = Compose([GaussianNoise(0.05, rng=5)])
+    res = Trainer(model, train, test, TrainingPolicy(rng=3),
+                  TrainerConfig(epochs=2, batch_size=64, transform=t)).run()
+    assert res.epochs[0].preprocess_s > 0
+    e = res.epochs[0]
+    assert e.epoch_time_s == pytest.approx(
+        e.data_load_s + e.compute_s + e.is_visible_s + e.preprocess_s
+    )
+    # Preprocessing stays a small fraction of the epoch (paper Fig. 3(a)).
+    assert e.preprocess_s < 0.1 * e.epoch_time_s

@@ -1,0 +1,32 @@
+"""Initializer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.init import he_init, xavier_init
+
+
+def test_he_std():
+    w = he_init((2000, 100), fan_in=100, rng=0)
+    assert w.std() == pytest.approx(np.sqrt(2 / 100), rel=0.05)
+    assert abs(w.mean()) < 0.01
+
+
+def test_he_deterministic():
+    np.testing.assert_array_equal(he_init((3, 3), 3, rng=1), he_init((3, 3), 3, rng=1))
+
+
+def test_he_invalid_fan_in():
+    with pytest.raises(ValueError):
+        he_init((2, 2), 0)
+
+
+def test_xavier_bounds():
+    w = xavier_init((1000, 50), fan_in=50, fan_out=50, rng=0)
+    limit = np.sqrt(6 / 100)
+    assert w.min() >= -limit and w.max() <= limit
+
+
+def test_xavier_invalid():
+    with pytest.raises(ValueError):
+        xavier_init((2, 2), -1, 2)

@@ -1,0 +1,61 @@
+"""SimClock tests."""
+
+import pytest
+
+from repro.storage.clock import SimClock
+
+
+def test_advance_and_totals():
+    c = SimClock()
+    c.advance("load", 1.5)
+    c.advance("compute", 0.5)
+    c.advance("load", 0.5)
+    assert c.stage_seconds("load") == 2.0
+    assert c.total_seconds == 2.5
+
+
+def test_unknown_stage_zero():
+    assert SimClock().stage_seconds("nope") == 0.0
+
+
+def test_negative_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance("x", -1.0)
+
+
+def test_fractions():
+    c = SimClock()
+    c.advance("a", 3.0)
+    c.advance("b", 1.0)
+    f = c.fractions()
+    assert f["a"] == pytest.approx(0.75)
+    assert f["b"] == pytest.approx(0.25)
+
+
+def test_fractions_empty():
+    assert SimClock().fractions() == {}
+
+
+def test_reset():
+    c = SimClock()
+    c.advance("a", 1.0)
+    c.reset()
+    assert c.total_seconds == 0.0
+
+
+def test_merge():
+    a, b = SimClock(), SimClock()
+    a.advance("x", 1.0)
+    b.advance("x", 2.0)
+    b.advance("y", 3.0)
+    a.merge(b)
+    assert a.stage_seconds("x") == 3.0
+    assert a.stage_seconds("y") == 3.0
+
+
+def test_breakdown_is_copy():
+    c = SimClock()
+    c.advance("a", 1.0)
+    d = c.breakdown()
+    d["a"] = 99.0
+    assert c.stage_seconds("a") == 1.0

@@ -1,0 +1,123 @@
+"""Failure-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.storage.backends import RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.flaky import FlakyStore, RetryingStore, TransientFetchError
+from repro.storage.latency import ConstantLatency
+
+
+def _store(n=50):
+    return RemoteStore(
+        np.arange(float(n))[:, None], item_nbytes=1024,
+        latency=ConstantLatency(base_s=1e-3), clock=SimClock(),
+    )
+
+
+def test_flaky_injects_failures():
+    flaky = FlakyStore(_store(), failure_prob=0.5, rng=0)
+    failures = 0
+    for i in range(50):
+        try:
+            flaky.get(i % 50)
+        except TransientFetchError:
+            failures += 1
+    assert failures == flaky.failures_injected
+    assert 10 < failures < 40  # ~50% of 50
+
+
+def test_flaky_zero_prob_transparent():
+    flaky = FlakyStore(_store(), failure_prob=0.0, rng=0)
+    np.testing.assert_array_equal(flaky.get(3), [3.0])
+    assert flaky.failures_injected == 0
+
+
+def test_flaky_invalid_prob():
+    with pytest.raises(ValueError):
+        FlakyStore(_store(), failure_prob=1.0)
+
+
+def test_flaky_peek_never_fails():
+    flaky = FlakyStore(_store(), failure_prob=0.99, rng=0)
+    for _ in range(20):
+        np.testing.assert_array_equal(flaky.peek(1), [1.0])
+    assert flaky.failures_injected == 0
+
+
+def test_retrying_masks_failures():
+    flaky = FlakyStore(_store(), failure_prob=0.4, rng=1)
+    retry = RetryingStore(flaky, max_retries=10, backoff_s=1e-3)
+    for i in range(50):
+        np.testing.assert_array_equal(retry.get(i), [float(i)])
+    assert retry.retries_used == flaky.failures_injected
+
+
+def test_retrying_charges_backoff_to_clock():
+    flaky = FlakyStore(_store(), failure_prob=0.5, rng=2)
+    retry = RetryingStore(flaky, max_retries=10, backoff_s=0.5)
+    baseline_clock = _store()
+    for i in range(30):
+        retry.get(i)
+        baseline_clock.get(i)
+    # Retried fetches cost extra simulated time.
+    assert retry.clock.total_seconds > baseline_clock.clock.total_seconds
+
+
+def test_retrying_gives_up_after_max():
+    class AlwaysFail:
+        clock = SimClock()
+        fetch_count = 0
+
+        def __len__(self):
+            return 1
+
+        def get(self, index):
+            raise TransientFetchError("nope")
+
+    retry = RetryingStore(AlwaysFail(), max_retries=2, backoff_s=0.0)
+    with pytest.raises(TransientFetchError):
+        retry.get(0)
+    assert retry.retries_used == 2
+
+
+def test_retrying_invalid_params():
+    with pytest.raises(ValueError):
+        RetryingStore(_store(), max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryingStore(_store(), backoff_s=-1.0)
+
+
+def test_training_through_flaky_store_identical_results():
+    """End to end: a retried flaky store changes only simulated time, not
+    the learning outcome."""
+    from repro.baselines.coordl import CoorDLPolicy
+    from repro.data.synthetic import make_clustered_dataset, train_test_split
+    from repro.nn.models import build_model
+    from repro.train.trainer import Trainer, TrainerConfig
+
+    ds = make_clustered_dataset(300, n_classes=4, dim=8, rng=0)
+    train, test = train_test_split(ds, rng=1)
+
+    def run(flaky: bool):
+        model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+        trainer = Trainer(model, train, test,
+                          CoorDLPolicy(cache_fraction=0.3, rng=3),
+                          TrainerConfig(epochs=4, batch_size=64))
+        if flaky:
+            trainer.store = RetryingStore(
+                FlakyStore(trainer.store, failure_prob=0.2, rng=4),
+                max_retries=10, backoff_s=1e-3,
+            )
+            # Rebind the policy's store reference.
+            trainer.policy.ctx.store = trainer.store
+        return trainer.run()
+
+    clean = run(False)
+    flaky = run(True)
+    assert flaky.final_accuracy == clean.final_accuracy
+    np.testing.assert_allclose(
+        flaky.series("val_accuracy"), clean.series("val_accuracy")
+    )
+    assert flaky.total_time_s > clean.total_time_s

@@ -1,0 +1,155 @@
+"""KV store and byte-LRU tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.clock import SimClock
+from repro.storage.kvstore import ByteLRUCache, CapacityError, InMemoryKVStore
+
+
+# ----------------------------------------------------------------------
+# InMemoryKVStore
+# ----------------------------------------------------------------------
+def test_kv_set_get_roundtrip():
+    kv = InMemoryKVStore(capacity_bytes=1024)
+    kv.set("a", np.ones(4))
+    np.testing.assert_array_equal(kv.get("a"), np.ones(4))
+    assert kv.get("missing") is None
+    assert kv.stats.hits == 1 and kv.stats.misses == 1
+
+
+def test_kv_memory_accounting():
+    kv = InMemoryKVStore(capacity_bytes=1024)
+    kv.set("a", np.ones(16))  # 128 bytes float64
+    assert kv.memory_used == 128
+    kv.set("a", np.ones(8))  # overwrite shrinks
+    assert kv.memory_used == 64
+    kv.delete("a")
+    assert kv.memory_used == 0
+    assert not kv.delete("a")
+
+
+def test_kv_lru_eviction():
+    kv = InMemoryKVStore(capacity_bytes=256, eviction="allkeys-lru")
+    kv.set("a", np.ones(16))  # 128
+    kv.set("b", np.ones(16))  # 128 -> full
+    kv.get("a")  # refresh a
+    kv.set("c", np.ones(16))  # evicts b
+    assert "a" in kv and "c" in kv and "b" not in kv
+    assert kv.memory_used == 256
+    assert kv.stats.evictions == 1
+
+
+def test_kv_noeviction_raises():
+    kv = InMemoryKVStore(capacity_bytes=128, eviction="noeviction")
+    kv.set("a", np.ones(16))
+    with pytest.raises(CapacityError):
+        kv.set("b", np.ones(16))
+    assert "a" in kv
+
+
+def test_kv_oversize_value_rejected():
+    kv = InMemoryKVStore(capacity_bytes=64)
+    with pytest.raises(CapacityError):
+        kv.set("big", np.ones(100))
+
+
+def test_kv_unlimited_capacity():
+    kv = InMemoryKVStore(capacity_bytes=0)
+    for i in range(100):
+        kv.set(i, np.ones(100))
+    assert len(kv) == 100
+
+
+def test_kv_latency_charged():
+    clock = SimClock()
+    kv = InMemoryKVStore(capacity_bytes=0, op_latency_s=1e-3,
+                         bandwidth_bps=1e6, clock=clock)
+    kv.set("a", np.ones(125))  # 1000 bytes -> 1ms transfer
+    assert clock.stage_seconds("cache_op") == pytest.approx(2e-3)
+    kv.get("a")
+    assert clock.stage_seconds("cache_op") == pytest.approx(4e-3)
+
+
+def test_kv_explicit_nbytes():
+    kv = InMemoryKVStore(capacity_bytes=1000)
+    kv.set("a", "metadata", nbytes=500)
+    assert kv.memory_used == 500
+
+
+def test_kv_string_and_bytes_sizes():
+    kv = InMemoryKVStore()
+    kv.set("s", "hello")  # 5 bytes
+    kv.set("b", b"\x00" * 7)
+    assert kv.memory_used == 12
+
+
+def test_kv_invalid_params():
+    with pytest.raises(ValueError):
+        InMemoryKVStore(capacity_bytes=-1)
+    with pytest.raises(ValueError):
+        InMemoryKVStore(eviction="volatile-ttl")
+    with pytest.raises(ValueError):
+        InMemoryKVStore(bandwidth_bps=0)
+
+
+def test_kv_flush():
+    kv = InMemoryKVStore()
+    kv.set("a", np.ones(4))
+    kv.flush()
+    assert len(kv) == 0 and kv.memory_used == 0
+
+
+# ----------------------------------------------------------------------
+# ByteLRUCache
+# ----------------------------------------------------------------------
+def test_byte_lru_heterogeneous_sizes():
+    c = ByteLRUCache(capacity_bytes=300)
+    c.put("small", np.ones(4))   # 32 B
+    c.put("large", np.ones(32))  # 256 B
+    assert c.bytes_used == 288
+    c.put("mid", np.ones(16))    # 128 B -> must evict
+    assert c.bytes_used <= 300
+
+
+def test_byte_lru_evicts_lru_first():
+    c = ByteLRUCache(capacity_bytes=256)
+    c.put("a", np.ones(16))
+    c.put("b", np.ones(16))
+    c.get("a")
+    c.put("c", np.ones(16))
+    assert "a" in c and "b" not in c
+
+
+def test_byte_lru_oversize_dropped():
+    c = ByteLRUCache(capacity_bytes=64)
+    c.put("big", np.ones(100))
+    assert "big" not in c
+    assert c.bytes_used == 0
+
+
+def test_byte_lru_overwrite_resizes():
+    c = ByteLRUCache(capacity_bytes=1024)
+    c.put("a", np.ones(64))
+    c.put("a", np.ones(4))
+    assert c.bytes_used == 32
+
+
+def test_byte_lru_zero_capacity():
+    c = ByteLRUCache(capacity_bytes=0)
+    c.put("a", np.ones(1))
+    assert len(c) == 0
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 40)), max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_property_byte_budget_never_exceeded(ops):
+    c = ByteLRUCache(capacity_bytes=200)
+    for key, n in ops:
+        c.put(key, np.ones(n, dtype=np.uint8))
+        assert c.bytes_used <= 200
+        # Internal accounting matches the actual contents.
+        actual = sum(v[1] for v in c._items.values())
+        assert actual == c.bytes_used

@@ -1,0 +1,59 @@
+"""CLI tests (fast settings)."""
+
+import pytest
+
+from repro.cli import POLICIES, main
+
+FAST = ["--samples", "300", "--epochs", "2", "--batch-size", "64"]
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "cifar10-like" in out
+    assert "resnet18" in out
+    assert "spidercache" in out
+
+
+def test_policies_registry_complete():
+    assert {"spidercache", "shade", "icache", "icache-imp", "coordl",
+            "baseline", "lfu", "spidercache-imp"} <= set(POLICIES)
+
+
+def test_train_command(capsys):
+    assert main(["train", "--policy", "spidercache"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+    assert "mean hit" in out
+
+
+def test_train_each_policy_smoke(capsys):
+    for name in ["shade", "coordl", "baseline"]:
+        assert main(["train", "--policy", name] + FAST) == 0
+
+
+def test_compare_command(capsys):
+    assert main(
+        ["compare", "--policies", "spidercache", "baseline"] + FAST
+    ) == 0
+    out = capsys.readouterr().out
+    assert "spidercache" in out
+    assert "baseline" in out
+    assert "speedup" in out
+
+
+def test_trace_command(capsys):
+    assert main(["trace", "--policy", "baseline", "--capacity", "0.2"] + FAST) == 0
+    out = capsys.readouterr().out
+    assert "Belady OPT" in out
+    assert "LRU" in out
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(SystemExit):
+        main(["train", "--policy", "nonexistent"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,63 @@
+"""Documentation quality gate: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.endswith("__main__")
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_docstring(module_name):
+    mod = importlib.import_module(module_name)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{module_name} lacks a docstring"
+
+
+def _doc_inherited(cls, mname: str) -> bool:
+    """True if any base class documents the same method (doc inheritance:
+    an override keeps its contract unless it says otherwise)."""
+    for base in cls.__mro__[1:]:
+        base_meth = base.__dict__.get(mname)
+        if base_meth is not None and getattr(base_meth, "__doc__", None):
+            if base_meth.__doc__.strip():
+                return True
+    return False
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    mod = importlib.import_module(module_name)
+    missing = []
+    for name in getattr(mod, "__all__", []):
+        obj = getattr(mod, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                missing.append(name)
+        if inspect.isclass(obj):
+            for mname, meth in inspect.getmembers(obj, inspect.isfunction):
+                if mname.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited implementation
+                if meth.__doc__ and meth.__doc__.strip():
+                    continue
+                if _doc_inherited(obj, mname):
+                    continue  # override of a documented contract
+                missing.append(f"{name}.{mname}")
+    assert not missing, f"{module_name}: undocumented public items: {missing}"
+
+
+def test_package_exports_resolve():
+    """Every name in every __all__ is actually importable."""
+    for module_name in MODULES:
+        mod = importlib.import_module(module_name)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module_name}.__all__ lists {name}"

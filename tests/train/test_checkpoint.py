@@ -1,0 +1,131 @@
+"""Checkpoint save/restore tests, including exact resume equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_clustered_dataset
+from repro.nn.models import build_model
+from repro.nn.optim import SGD
+from repro.train.checkpoint import load_checkpoint, restore_into, save_checkpoint
+
+
+@pytest.fixture
+def setup(tmp_path):
+    ds = make_clustered_dataset(200, n_classes=4, dim=8, rng=0)
+    model = build_model("resnet18", 8, 4, rng=1)
+    opt = SGD(model.params(), lr=0.05, momentum=0.9)
+    return tmp_path, ds, model, opt
+
+
+def _train_steps(model, opt, ds, steps, rng_seed=2):
+    rng = np.random.default_rng(rng_seed)
+    for _ in range(steps):
+        idx = rng.integers(0, len(ds), 32)
+        model.zero_grad()
+        model.train_batch(ds.X[idx], ds.y[idx])
+        opt.step()
+
+
+def test_roundtrip_model_state(setup):
+    tmp, ds, model, opt = setup
+    _train_steps(model, opt, ds, 5)
+    path = save_checkpoint(tmp / "ckpt.npz", model, opt, epoch=3,
+                           metadata={"note": "hello"})
+    ck = load_checkpoint(path)
+    assert ck["epoch"] == 3
+    assert ck["metadata"] == {"note": "hello"}
+    for k, v in model.state_dict().items():
+        np.testing.assert_array_equal(ck["model"][k], v)
+
+
+def test_restore_into_fresh_model(setup):
+    tmp, ds, model, opt = setup
+    _train_steps(model, opt, ds, 5)
+    path = save_checkpoint(tmp / "ckpt.npz", model, opt, epoch=2)
+
+    model2 = build_model("resnet18", 8, 4, rng=99)
+    opt2 = SGD(model2.params(), lr=0.05, momentum=0.9)
+    epoch = restore_into(load_checkpoint(path), model2, opt2)
+    assert epoch == 2
+    x = np.random.default_rng(3).normal(size=(6, 8))
+    np.testing.assert_allclose(
+        model.forward(x, training=False)[0],
+        model2.forward(x, training=False)[0],
+    )
+
+
+def test_exact_resume_equivalence(setup):
+    """checkpoint-at-k + resume == uninterrupted run, parameter for
+    parameter (momentum buffers included)."""
+    tmp, ds, model, opt = setup
+
+    # Uninterrupted: 10 steps.
+    _train_steps(model, opt, ds, 10, rng_seed=7)
+    final_uninterrupted = {k: v.copy() for k, v in model.state_dict().items()}
+
+    # Interrupted: fresh identical model, 5 steps, checkpoint, restore into
+    # a third model, 5 more steps with the same data stream.
+    m2 = build_model("resnet18", 8, 4, rng=1)
+    o2 = SGD(m2.params(), lr=0.05, momentum=0.9)
+    rng = np.random.default_rng(7)
+    batches = [rng.integers(0, len(ds), 32) for _ in range(10)]
+    for idx in batches[:5]:
+        m2.zero_grad()
+        m2.train_batch(ds.X[idx], ds.y[idx])
+        o2.step()
+    path = save_checkpoint(tmp / "mid.npz", m2, o2, epoch=5)
+
+    m3 = build_model("resnet18", 8, 4, rng=42)
+    o3 = SGD(m3.params(), lr=0.05, momentum=0.9)
+    restore_into(load_checkpoint(path), m3, o3)
+    for idx in batches[5:]:
+        m3.zero_grad()
+        m3.train_batch(ds.X[idx], ds.y[idx])
+        o3.step()
+
+    for k, v in m3.state_dict().items():
+        np.testing.assert_allclose(v, final_uninterrupted[k], atol=1e-12)
+
+
+def test_checkpoint_without_optimizer(setup):
+    tmp, ds, model, opt = setup
+    path = save_checkpoint(tmp / "noopt.npz", model, epoch=1)
+    ck = load_checkpoint(path)
+    assert ck["optimizer_velocity"] is None
+    model2 = build_model("resnet18", 8, 4, rng=9)
+    restore_into(ck, model2)  # model-only restore is fine
+    opt2 = SGD(model2.params(), lr=0.05)
+    with pytest.raises(ValueError):
+        restore_into(ck, model2, opt2)
+
+
+def test_architecture_mismatch_rejected(setup):
+    tmp, ds, model, opt = setup
+    path = save_checkpoint(tmp / "ckpt.npz", model, opt, epoch=0)
+    other = build_model("resnet50", 8, 4, rng=0)
+    with pytest.raises((KeyError, ValueError)):
+        restore_into(load_checkpoint(path), other)
+
+
+def test_suffix_normalization(setup):
+    tmp, ds, model, opt = setup
+    path = save_checkpoint(tmp / "bare", model, epoch=0)
+    assert path.suffix == ".npz"
+    assert path.exists()
+
+
+def test_version_check(setup, tmp_path):
+    tmp, ds, model, opt = setup
+    path = save_checkpoint(tmp / "v.npz", model, epoch=0)
+    # Corrupt the version.
+    import json
+
+    import numpy as np
+
+    data = dict(np.load(path))
+    header = json.loads(bytes(data["__header__"]).decode())
+    header["format_version"] = 999
+    data["__header__"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    np.savez(path, **data)
+    with pytest.raises(ValueError):
+        load_checkpoint(path)

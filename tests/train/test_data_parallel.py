@@ -1,0 +1,105 @@
+"""Data-parallel trainer tests: replica sync, learning, time shape."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.baseline import LRUBaselinePolicy
+from repro.core.policy import SpiderCachePolicy
+from repro.data.synthetic import make_clustered_dataset, train_test_split
+from repro.nn.models import build_model
+from repro.train.data_parallel import DataParallelTrainer
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def data():
+    ds = make_clustered_dataset(600, n_classes=5, dim=16, rng=0)
+    return train_test_split(ds, test_fraction=0.25, rng=1)
+
+
+def _dp(data, world_size, policy_cls=LRUBaselinePolicy, epochs=4, **kw):
+    train, test = data
+    return DataParallelTrainer(
+        model_factory=lambda: build_model("resnet18", train.dim,
+                                          train.num_classes, rng=7),
+        train_set=train,
+        test_set=test,
+        policy_factory=lambda rank: policy_cls(cache_fraction=0.3,
+                                               rng=100 + rank),
+        world_size=world_size,
+        config=TrainerConfig(epochs=epochs, batch_size=64),
+        rng=5,
+        **kw,
+    )
+
+
+def test_invalid_world_size(data):
+    with pytest.raises(ValueError):
+        _dp(data, 0)
+
+
+def test_shards_partition_dataset(data):
+    dp = _dp(data, 3)
+    all_ids = np.concatenate([w.shard for w in dp.workers])
+    assert sorted(all_ids.tolist()) == list(range(len(data[0])))
+
+
+def test_replicas_identical_at_init(data):
+    dp = _dp(data, 3)
+    assert dp.replicas_in_sync()
+
+
+def test_replicas_stay_in_sync_through_training(data):
+    dp = _dp(data, 2, epochs=3)
+    dp.run()
+    assert dp.replicas_in_sync(atol=1e-8)
+
+
+def test_dp_learns(data):
+    res = _dp(data, 2, epochs=8).run()
+    # The easy 5-class task converges within the first epoch; the averaged
+    # gradients must be driving the shared replicas to high accuracy.
+    assert res.final_accuracy > 0.85
+    assert res.best_accuracy > 0.9
+
+
+def test_world_size_one_matches_single_trainer_accuracy(data):
+    """K=1 DP is the same algorithm as the plain trainer (modulo the
+    sampler's RNG stream); accuracies land close."""
+    train, test = data
+    dp_res = _dp(data, 1, epochs=6).run()
+    model = build_model("resnet18", train.dim, train.num_classes, rng=7)
+    single = Trainer(
+        model, train, test, LRUBaselinePolicy(cache_fraction=0.3, rng=100),
+        TrainerConfig(epochs=6, batch_size=64),
+    ).run()
+    assert abs(dp_res.final_accuracy - single.final_accuracy) < 0.1
+
+
+def test_more_workers_faster_epochs(data):
+    t2 = _dp(data, 2, epochs=3).run()
+    t4 = _dp(data, 4, epochs=3).run()
+    assert t4.epochs[-1].epoch_time_s < t2.epochs[-1].epoch_time_s
+
+
+def test_communication_grows_with_workers(data):
+    """Per-epoch time includes a comm term that makes scaling sublinear."""
+    t1 = _dp(data, 1, epochs=2).run().epochs[-1].epoch_time_s
+    t4 = _dp(data, 4, epochs=2).run().epochs[-1].epoch_time_s
+    assert t1 / t4 < 4.0
+
+
+def test_spider_policy_per_worker_caches(data):
+    dp = _dp(data, 2, policy_cls=SpiderCachePolicy, epochs=5)
+    res = dp.run()
+    assert res.epochs[-1].hit_ratio > 0.15
+    # Each worker's cache only holds ids from its own shard space.
+    for w in dp.workers:
+        local_n = len(w.shard)
+        for key in w.policy.cache.importance.keys():
+            assert 0 <= key < local_n
+
+
+def test_policy_name_tagged(data):
+    res = _dp(data, 2, epochs=1).run()
+    assert res.policy_name == "baseline-lru@dp2"

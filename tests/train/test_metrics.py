@@ -1,0 +1,49 @@
+"""TrainResult / EpochMetrics tests."""
+
+import numpy as np
+import pytest
+
+from repro.train.metrics import EpochMetrics, TrainResult
+
+
+def _em(epoch, acc=0.5, hit=0.3, load=1.0, compute=2.0, is_v=0.1):
+    return EpochMetrics(
+        epoch=epoch, train_loss=1.0, val_accuracy=acc, hit_ratio=hit,
+        exact_hit_ratio=hit, substitute_ratio=0.0,
+        data_load_s=load, compute_s=compute, is_visible_s=is_v,
+        epoch_time_s=load + compute + is_v,
+    )
+
+
+def test_empty_run_raises():
+    r = TrainResult("p", "m", "d")
+    with pytest.raises(ValueError):
+        _ = r.final_accuracy
+    assert r.mean_hit_ratio == 0.0
+
+
+def test_final_and_best_accuracy():
+    r = TrainResult("p", "m", "d", epochs=[_em(0, 0.3), _em(1, 0.9), _em(2, 0.7)])
+    assert r.final_accuracy == 0.7
+    assert r.best_accuracy == 0.9
+
+
+def test_total_time():
+    r = TrainResult("p", "m", "d", epochs=[_em(0), _em(1)])
+    assert r.total_time_s == pytest.approx(2 * 3.1)
+
+
+def test_series_extraction():
+    r = TrainResult("p", "m", "d", epochs=[_em(0, 0.1), _em(1, 0.2)])
+    np.testing.assert_allclose(r.series("val_accuracy"), [0.1, 0.2])
+
+
+def test_stage_totals_and_summary():
+    r = TrainResult("p", "m", "d", epochs=[_em(0), _em(1)])
+    st = r.stage_totals()
+    assert st["data_load_s"] == 2.0
+    assert st["compute_s"] == 4.0
+    s = r.summary()
+    assert s["final_accuracy"] == 0.5
+    assert s["total_time_s"] == pytest.approx(6.2)
+    assert s["mean_hit_ratio"] == pytest.approx(0.3)

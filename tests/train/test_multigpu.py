@@ -1,0 +1,77 @@
+"""Multi-GPU simulation tests (Fig. 17 shape)."""
+
+import pytest
+
+from repro.train.metrics import EpochMetrics, TrainResult
+from repro.train.multigpu import MultiGPUSimulator
+
+
+def _result(load=2.0, compute=1.0, epochs=3):
+    r = TrainResult("p", "m", "d")
+    for e in range(epochs):
+        r.epochs.append(
+            EpochMetrics(
+                epoch=e, train_loss=0.0, val_accuracy=0.0, hit_ratio=0.0,
+                exact_hit_ratio=0.0, substitute_ratio=0.0,
+                data_load_s=load, compute_s=compute, is_visible_s=0.0,
+                epoch_time_s=load + compute,
+            )
+        )
+    return r
+
+
+def test_single_gpu_identity_no_comm():
+    sim = MultiGPUSimulator()
+    ep = sim.scale_epoch(2.0, 1.0, gpus=1)
+    assert ep.comm_s == 0.0
+    assert ep.compute_s == 1.0
+    assert ep.data_load_s == 2.0
+
+
+def test_epoch_time_decreases_with_gpus():
+    sim = MultiGPUSimulator(comm_ms_per_step=5.0)
+    times = [sim.scale_epoch(10.0, 5.0, k).epoch_time_s for k in (1, 2, 3, 4)]
+    assert all(a > b for a, b in zip(times, times[1:]))
+
+
+def test_sublinear_scaling_due_to_comm():
+    """Fig. 17's caveat: communication keeps speedup below linear."""
+    sim = MultiGPUSimulator(comm_ms_per_step=20.0, steps_per_epoch=100)
+    t1 = sim.scale_epoch(10.0, 5.0, 1).epoch_time_s
+    t4 = sim.scale_epoch(10.0, 5.0, 4).epoch_time_s
+    assert t1 / t4 < 4.0
+
+
+def test_straggler_inflates_load():
+    sim = MultiGPUSimulator(straggler_alpha=0.5, comm_ms_per_step=0.0)
+    ep = sim.scale_epoch(8.0, 0.0, 4)
+    assert ep.data_load_s > 8.0 / 4
+
+
+def test_cached_policy_gains_more_from_gpus():
+    """A policy with low I/O (SpiderCache) scales better than one dominated
+    by loading (baseline) — the Fig. 17 separation grows with K."""
+    sim = MultiGPUSimulator()
+    base = _result(load=10.0, compute=2.0)
+    cached = _result(load=2.0, compute=2.0)
+    tb = sim.per_epoch_times(base, [1, 4])
+    tc = sim.per_epoch_times(cached, [1, 4])
+    assert tc[1] < tb[1] and tc[4] < tb[4]
+    assert (tb[1] - tc[1]) > (tb[4] - tc[4])  # absolute gap shrinks with K
+    assert tc[4] / tc[1] < 1.0
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        MultiGPUSimulator(comm_ms_per_step=-1)
+    with pytest.raises(ValueError):
+        MultiGPUSimulator(steps_per_epoch=0)
+    with pytest.raises(ValueError):
+        MultiGPUSimulator().scale_epoch(1.0, 1.0, gpus=0)
+
+
+def test_per_epoch_times_averages():
+    sim = MultiGPUSimulator(comm_ms_per_step=0.0, straggler_alpha=0.0)
+    r = _result(load=4.0, compute=2.0, epochs=5)
+    t = sim.per_epoch_times(r, [2])
+    assert t[2] == pytest.approx((4.0 + 2.0) / 2)

@@ -1,0 +1,69 @@
+"""Base TrainingPolicy contract tests."""
+
+import numpy as np
+import pytest
+
+from repro.cache.base import CacheStats
+from repro.core.semantic_cache import FetchSource
+from repro.data.synthetic import make_clustered_dataset
+from repro.storage.backends import RemoteStore
+from repro.train.policy_base import PolicyContext, TrainingPolicy
+
+
+def _ctx(n=50):
+    ds = make_clustered_dataset(n, n_classes=4, dim=8, rng=0)
+    store = RemoteStore(ds.X)
+    return PolicyContext(
+        dataset=ds, store=store, batch_size=16, total_epochs=3,
+        embedding_dim=8, rng=np.random.default_rng(1),
+    )
+
+
+def test_unbound_policy_raises():
+    p = TrainingPolicy(rng=0)
+    with pytest.raises(RuntimeError):
+        p.epoch_order(0)
+    with pytest.raises(RuntimeError):
+        p.fetch(0)
+
+
+def test_default_epoch_order_permutation():
+    p = TrainingPolicy(rng=0)
+    p.setup(_ctx())
+    order = p.epoch_order(0)
+    assert sorted(order.tolist()) == list(range(50))
+    assert not np.array_equal(p.epoch_order(1), order)
+
+
+def test_default_fetch_always_remote():
+    p = TrainingPolicy(rng=0)
+    ctx = _ctx()
+    p.setup(ctx)
+    for _ in range(3):
+        out = p.fetch(7)
+        assert out.source == FetchSource.REMOTE
+        assert out.served_id == 7
+    assert ctx.store.fetch_count == 3
+
+
+def test_default_hooks_are_noops():
+    p = TrainingPolicy(rng=0)
+    p.setup(_ctx())
+    p.before_epoch(0)
+    p.after_batch(np.arange(4), np.arange(4), np.ones(4), np.zeros((4, 8)), 0)
+    p.after_epoch(0, 0.5)
+    assert p.backprop_mask(np.arange(4), np.ones(4)) is None
+
+
+def test_default_stats_empty():
+    p = TrainingPolicy(rng=0)
+    s = p.stats()
+    assert isinstance(s, CacheStats)
+    assert s.requests == 0
+    assert p.imp_ratio is None
+    assert p.is_ms_per_batch == 0.0
+
+
+def test_context_num_samples():
+    ctx = _ctx(37)
+    assert ctx.num_samples == 37
