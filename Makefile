@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-csv examples smoke all
+.PHONY: install test bench bench-csv examples smoke faults all
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,5 +23,10 @@ examples:
 
 smoke:
 	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3
+
+# Tier-2 fault-injection suite plus the scenario sweep CLI.
+faults:
+	$(PYTHON) -m pytest tests/ -m resilience
+	$(PYTHON) -m repro faults --samples 600 --epochs 3
 
 all: test bench

@@ -77,6 +77,28 @@ class BruteForceIndex:
     # ``update`` is an alias: brute-force storage overwrites in place.
     update = add
 
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Snapshot of ids (slot order) and stored vectors."""
+        n = len(self._ids)
+        return {
+            "ids": np.asarray(self._ids, dtype=np.int64),
+            "vectors": self._data[:n].copy(),
+        }
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Restore a :meth:`state_dict` snapshot (slot order preserved)."""
+        ids = np.asarray(state["ids"], dtype=np.int64)
+        vectors = np.asarray(state["vectors"], dtype=np.float64)
+        if vectors.ndim != 2 or vectors.shape[1] != self.dim:
+            raise ValueError("vector snapshot does not match index dim")
+        if ids.shape[0] != vectors.shape[0]:
+            raise ValueError("ids and vectors length mismatch")
+        if vectors.shape[0] > self._data.shape[0]:
+            self._data = np.empty((vectors.shape[0], self.dim), dtype=np.float64)
+        self._data[: vectors.shape[0]] = vectors
+        self._ids = [int(i) for i in ids]
+        self._slot_of = {int(i): slot for slot, i in enumerate(ids)}
+
     def remove(self, item_id: int) -> None:
         """Delete a vector by id (swap-with-last)."""
         item_id = int(item_id)

@@ -61,6 +61,24 @@ class CacheStats:
         self.evictions += other.evictions
         self.insertions += other.insertions
 
+    def state_dict(self) -> dict:
+        """Serializable counter snapshot."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "substitute_hits": self.substitute_hits,
+            "evictions": self.evictions,
+            "insertions": self.insertions,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+        self.substitute_hits = int(state["substitute_hits"])
+        self.evictions = int(state["evictions"])
+        self.insertions = int(state["insertions"])
+
 
 class Cache:
     """Abstract keyed cache with item-count capacity.

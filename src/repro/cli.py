@@ -89,6 +89,25 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--capacity", type=float, default=0.2,
                          help="replay-cache capacity as a dataset fraction")
     add_common(trace_p)
+
+    faults_p = sub.add_parser(
+        "faults", help="sweep fault scenarios (outage/brownout/preemption)"
+    )
+    faults_p.add_argument("--policy", default="spidercache",
+                          choices=sorted(POLICIES))
+    faults_p.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="scenario names to run (default: all built-in scenarios)",
+    )
+    faults_p.add_argument(
+        "--checkpoint-dir", default=None,
+        help="directory for checkpoint archives (default: a temp dir)",
+    )
+    faults_p.add_argument(
+        "--checkpoint-every", type=int, default=10,
+        help="auto-checkpoint cadence in batches",
+    )
+    add_common(faults_p)
     return parser
 
 
@@ -175,6 +194,50 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    import tempfile
+    from pathlib import Path
+
+    from repro.resilience.campaign import DEFAULT_SCENARIOS, FaultCampaign
+    from repro.resilience.trainer import ResilientTrainer
+
+    scenarios = DEFAULT_SCENARIOS
+    if args.scenarios:
+        by_name = {s.name: s for s in DEFAULT_SCENARIOS}
+        unknown = [n for n in args.scenarios if n not in by_name]
+        if unknown:
+            print(f"unknown scenarios: {', '.join(unknown)} "
+                  f"(available: {', '.join(sorted(by_name))})", file=sys.stderr)
+            return 2
+        scenarios = [by_name[n] for n in args.scenarios]
+
+    root = Path(args.checkpoint_dir) if args.checkpoint_dir else Path(
+        tempfile.mkdtemp(prefix="repro-faults-")
+    )
+
+    def make_trainer(checkpoint_dir, preemptions, restart_penalty_s):
+        data = make_dataset(args.preset, rng=args.seed, n_samples=args.samples)
+        train, test = train_test_split(data, test_fraction=0.25,
+                                       rng=args.seed + 1)
+        model = build_model(args.model, train.dim, train.num_classes,
+                            rng=args.seed + 2)
+        policy = POLICIES[args.policy](args.cache_fraction, args.seed + 3)
+        return ResilientTrainer(
+            model, train, test, policy,
+            TrainerConfig(epochs=args.epochs, batch_size=args.batch_size),
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every_batches=args.checkpoint_every,
+            preemptions=preemptions,
+            restart_penalty_s=restart_penalty_s,
+        )
+
+    campaign = FaultCampaign(make_trainer, root, scenarios)
+    result = campaign.run(verbose=True,
+                          log=lambda m: print(m, file=sys.stderr))
+    print(result.format_table())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -183,6 +246,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": _cmd_train,
         "compare": _cmd_compare,
         "trace": _cmd_trace,
+        "faults": _cmd_faults,
     }[args.command](args)
 
 

@@ -199,3 +199,41 @@ class ElasticCacheManager:
         if not self.history:
             return self.controller.r_start
         return self.history[-1].imp_ratio
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Exact snapshot of all three components plus decision history.
+
+        Needed across preemptions: ``beta`` latches on the score-std
+        *trajectory* and the annealing clock starts at activation, so a
+        restart that dropped this state would re-anneal from scratch.
+        """
+        im = self.importance_monitor
+        return {
+            "std_history": list(im.std_history),
+            "activated": im._activated,
+            "activation_epoch": im.activation_epoch,
+            "accuracy_history": list(self.accuracy_monitor.accuracy_history),
+            "decisions": [
+                [d.epoch, d.beta, d.u, d.imp_ratio] for d in self.history
+            ],
+            "t0": self._t0,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        im = self.importance_monitor
+        im.std_history = [float(s) for s in state["std_history"]]
+        im._activated = bool(state["activated"])
+        im.activation_epoch = (
+            None if state["activation_epoch"] is None
+            else int(state["activation_epoch"])
+        )
+        self.accuracy_monitor.accuracy_history = [
+            float(a) for a in state["accuracy_history"]
+        ]
+        self.history = [
+            ElasticDecision(int(e), int(b), float(u), float(r))
+            for e, b, u, r in state["decisions"]
+        ]
+        self._t0 = None if state["t0"] is None else int(state["t0"])

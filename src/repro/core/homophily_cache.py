@@ -16,6 +16,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.cache.base import CacheStats
 
 __all__ = ["HomophilyCache"]
@@ -131,3 +133,50 @@ class HomophilyCache:
         covered = set(self._neighbor_of)
         covered.update(self._entries)
         return len(covered)
+
+    def newest_entry(self) -> Optional[Tuple[int, Any]]:
+        """(key, payload) of the most recently inserted node, or ``None``.
+
+        The freshest node's embedding neighborhood is the best available
+        stand-in when degraded mode must serve *something* for an uncovered
+        request.
+        """
+        if not self._entries:
+            return None
+        key = next(reversed(self._entries))
+        return key, self._entries[key][0]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact snapshot: FIFO order, payloads, neighbor lists, stats."""
+        keys = list(self._entries.keys())
+        if keys:
+            payloads = np.stack(
+                [np.asarray(self._entries[k][0]) for k in keys]
+            )
+        else:
+            payloads = np.empty((0,))
+        return {
+            "capacity": self.capacity,
+            "keys": np.asarray(keys, dtype=np.int64),
+            "payloads": payloads,
+            "neighbors": [list(self._entries[k][1]) for k in keys],
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (rebuilds the cover map)."""
+        self.capacity = int(state["capacity"])
+        keys = np.asarray(state["keys"], dtype=np.int64)
+        payloads = state["payloads"]
+        neighbors = state["neighbors"]
+        if len(keys) != len(neighbors):
+            raise ValueError("homophily snapshot keys/neighbors mismatch")
+        self._entries = OrderedDict()
+        self._neighbor_of = {}
+        for i, k in enumerate(keys):
+            neigh = tuple(int(n) for n in neighbors[i])
+            self._entries[int(k)] = (np.asarray(payloads[i]), neigh)
+            for n in neigh:
+                self._neighbor_of.setdefault(n, set()).add(int(k))
+        self.stats.load_state_dict(state["stats"])

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cache.base import CacheStats
 from repro.utils.heap import IndexedMinHeap
 
@@ -116,3 +118,46 @@ class ImportanceCache:
     def scores_snapshot(self) -> List[Tuple[int, float]]:
         """(key, score) for all residents (diagnostics)."""
         return [(k, self._heap.priority(k)) for k in self._values]
+
+    def peek_min(self) -> Optional[Tuple[int, Any]]:
+        """(key, payload) of the least-important resident, or ``None``.
+
+        Degraded-mode serving uses this as a deterministic last-resort
+        substitute source when the remote tier is down.
+        """
+        if not self._heap:
+            return None
+        _, key = self._heap.peek()
+        return key, self._values[key]
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact snapshot: payloads, heap layout, stats.
+
+        Residents are recorded in dict-insertion order; the heap snapshot
+        keeps its array layout and tie-break counters so eviction order
+        after a restore matches an uninterrupted run bit-for-bit.
+        """
+        keys = list(self._values.keys())
+        if keys:
+            payloads = np.stack([np.asarray(self._values[k]) for k in keys])
+        else:
+            payloads = np.empty((0,))
+        return {
+            "capacity": self.capacity,
+            "keys": np.asarray(keys, dtype=np.int64),
+            "payloads": payloads,
+            "heap": self._heap.state_dict(),
+            "stats": self.stats.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.capacity = int(state["capacity"])
+        keys = np.asarray(state["keys"], dtype=np.int64)
+        payloads = state["payloads"]
+        self._values = {int(k): np.asarray(payloads[i]) for i, k in enumerate(keys)}
+        self._heap.load_state_dict(state["heap"])
+        if set(self._heap.keys()) != set(self._values):
+            raise ValueError("importance-cache snapshot heap/value mismatch")
+        self.stats.load_state_dict(state["stats"])

@@ -97,6 +97,7 @@ class SpiderCachePolicy(TrainingPolicy):
         uniform_mix: float = 0.1,
         score_floor: float = 0.1,
         prefetch_fraction: float = 0.0,
+        degraded_mode: bool = False,
         rng: RngLike = None,
     ) -> None:
         super().__init__(rng=rng)
@@ -137,6 +138,10 @@ class SpiderCachePolicy(TrainingPolicy):
             raise ValueError("prefetch_fraction must be in [0, 1]")
         self.prefetch_fraction = float(prefetch_fraction)
         self.prefetch_count = 0
+        # Degraded-mode serving (resilience layer): when the remote tier is
+        # down — circuit breaker open, or a fetch fails outright — serve a
+        # widened substitute / skip the sample instead of crashing the run.
+        self.degraded_mode = bool(degraded_mode)
         self.lam = lam
         self.alpha = alpha
         self.neighbormax = neighbormax
@@ -167,6 +172,8 @@ class SpiderCachePolicy(TrainingPolicy):
         )
         capacity = int(round(self.cache_fraction * n))
         self.cache = SemanticCache(capacity, imp_ratio=self.r_start)
+        if self.degraded_mode:
+            self.cache.enable_degraded_mode()
         self.manager = ElasticCacheManager(
             total_epochs=ctx.total_epochs,
             r_start=self.r_start,
@@ -210,7 +217,14 @@ class SpiderCachePolicy(TrainingPolicy):
             floor = imp.min_score()
             if len(imp) >= imp.capacity and floor is not None and score <= floor:
                 break  # remaining candidates score even lower
-            payload = ctx.store.get(idx)  # real I/O, charges latency
+            try:
+                payload = ctx.store.get(idx)  # real I/O, charges latency
+            except self.cache.degrade_on:
+                # Remote tier down mid-prefetch: stop topping up the cache
+                # rather than aborting the epoch. Training proceeds with
+                # whatever is already resident.
+                self.cache.degraded.errors_absorbed += 1
+                break
             if imp.admit(idx, payload, score):
                 fetched += 1
                 self.prefetch_count += 1
@@ -279,6 +293,40 @@ class SpiderCachePolicy(TrainingPolicy):
         if self.elastic:
             ratio = self.manager.step(epoch, std, val_accuracy)
             self.cache.set_imp_ratio(ratio)
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Full checkpointable policy state (Alg. 1's cross-epoch memory).
+
+        Covers everything biased sampling and cache admission depend on:
+        the global score table, both cache layers, the elastic manager's
+        latched monitors, the scorer's ANN index + calibration EMA, and the
+        sampling RNG stream. Restoring this after a preemption keeps the
+        importance-sampling distribution exactly on the uninterrupted
+        trajectory.
+        """
+        assert self.cache is not None and self.score_table is not None
+        assert self.manager is not None and self.scorer is not None
+        state = super().state_dict()
+        state.update(
+            score_table=self.score_table.state_dict(),
+            cache=self.cache.state_dict(),
+            manager=self.manager.state_dict(),
+            scorer=self.scorer.state_dict(),
+            prefetch_count=self.prefetch_count,
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (call after ``setup``)."""
+        assert self.cache is not None and self.score_table is not None
+        assert self.manager is not None and self.scorer is not None
+        super().load_state_dict(state)
+        self.score_table.load_state_dict(state["score_table"])
+        self.cache.load_state_dict(state["cache"])
+        self.manager.load_state_dict(state["manager"])
+        self.scorer.load_state_dict(state["scorer"])
+        self.prefetch_count = int(state["prefetch_count"])
 
     # ------------------------------------------------------------------
     def stats(self) -> CacheStats:

@@ -93,6 +93,27 @@ class GlobalScoreTable:
         self.std_history.append(std)
         return std
 
+    def state_dict(self) -> dict:
+        """Exact snapshot of scores, staleness stamps, and std history."""
+        return {
+            "scores": self._scores.copy(),
+            "last_update_epoch": self._last_update_epoch.copy(),
+            "ever_updated": self._ever_updated.copy(),
+            "std_history": list(self.std_history),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        scores = np.asarray(state["scores"], dtype=np.float64)
+        if scores.shape[0] != self.n_samples:
+            raise ValueError("score snapshot does not match table size")
+        self._scores = scores.copy()
+        self._last_update_epoch = np.asarray(
+            state["last_update_epoch"], dtype=np.int64
+        ).copy()
+        self._ever_updated = np.asarray(state["ever_updated"], dtype=bool).copy()
+        self.std_history = [float(s) for s in state["std_history"]]
+
     def recent_std_slope(self, window: int = 5) -> Optional[float]:
         """Least-squares slope over the last ``window`` std snapshots.
 

@@ -18,13 +18,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple, Type
 
 from repro.cache.base import CacheStats
 from repro.core.homophily_cache import HomophilyCache
 from repro.core.importance_cache import ImportanceCache
 
-__all__ = ["SemanticCache", "FetchSource", "FetchOutcome"]
+__all__ = ["SemanticCache", "FetchSource", "FetchOutcome", "DegradedStats"]
 
 
 class FetchSource(str, Enum):
@@ -33,6 +33,54 @@ class FetchSource(str, Enum):
     IMPORTANCE = "importance"
     HOMOPHILY = "homophily"
     REMOTE = "remote"
+    #: Degraded-mode substitute: the remote tier was down and the request
+    #: missed both layers, so a *widened* substitution served whatever
+    #: semantically-nearby payload was resident.
+    DEGRADED = "degraded"
+    #: Degraded-mode skip: remote down and nothing cached at all; the
+    #: sample is dropped from its batch instead of crashing the run.
+    SKIPPED = "skipped"
+
+
+@dataclass
+class DegradedStats:
+    """Counters for degraded-mode serving (remote tier unavailable)."""
+
+    substituted_homophily: int = 0  # widened homophily substitutions
+    substituted_importance: int = 0  # last-resort importance-cache serves
+    skipped: int = 0  # nothing resident; sample dropped
+    errors_absorbed: int = 0  # remote failures converted to degraded serves
+
+    @property
+    def substituted(self) -> int:
+        return self.substituted_homophily + self.substituted_importance
+
+    @property
+    def total(self) -> int:
+        return self.substituted + self.skipped
+
+    def reset(self) -> None:
+        """Zero all degraded-mode counters."""
+        self.substituted_homophily = 0
+        self.substituted_importance = 0
+        self.skipped = 0
+        self.errors_absorbed = 0
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the counters."""
+        return {
+            "substituted_homophily": self.substituted_homophily,
+            "substituted_importance": self.substituted_importance,
+            "skipped": self.skipped,
+            "errors_absorbed": self.errors_absorbed,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.substituted_homophily = int(state["substituted_homophily"])
+        self.substituted_importance = int(state["substituted_importance"])
+        self.skipped = int(state["skipped"])
+        self.errors_absorbed = int(state["errors_absorbed"])
 
 
 @dataclass
@@ -71,6 +119,11 @@ class SemanticCache:
         self.importance = ImportanceCache(imp_cap)
         self.homophily = HomophilyCache(self.total_capacity - imp_cap)
         self.stats = CacheStats()  # aggregate over both layers
+        # Degraded-mode serving: exception types from ``remote_get`` that
+        # trigger widened substitution instead of propagating. Empty by
+        # default — plain runs keep strict fail-on-error semantics.
+        self.degrade_on: Tuple[Type[BaseException], ...] = ()
+        self.degraded = DegradedStats()
 
     # ------------------------------------------------------------------
     @property
@@ -122,10 +175,61 @@ class SemanticCache:
                 self.stats.substitute_hits += 1
             return FetchOutcome(index, node_key, node_payload, FetchSource.HOMOPHILY)
 
-        payload = remote_get(index)
+        try:
+            payload = remote_get(index)
+        except self.degrade_on:
+            self.degraded.errors_absorbed += 1
+            return self._degraded_fetch(index)
         self.stats.misses += 1
         self.importance.admit(index, payload, score)
         return FetchOutcome(index, index, payload, FetchSource.REMOTE)
+
+    # ------------------------------------------------------------------
+    def enable_degraded_mode(
+        self, errors: Optional[Tuple[Type[BaseException], ...]] = None
+    ) -> None:
+        """Serve degraded instead of raising when ``remote_get`` fails.
+
+        ``errors`` are the exception types to absorb; the default covers
+        breaker rejections (:class:`~repro.resilience.errors.DegradedModeError`)
+        and raw transient fetch failures, so an un-broken flaky store
+        degrades too rather than crashing the epoch.
+        """
+        if errors is None:
+            from repro.resilience.errors import DegradedModeError
+            from repro.storage.flaky import TransientFetchError
+
+            errors = (DegradedModeError, TransientFetchError)
+        self.degrade_on = tuple(errors)
+
+    def disable_degraded_mode(self) -> None:
+        """Restore strict fail-on-error fetch semantics."""
+        self.degrade_on = ()
+
+    def _degraded_fetch(self, index: int) -> FetchOutcome:
+        """Close-enough-beats-nothing serving while the remote tier is down.
+
+        Substitution is *widened* beyond the Fig. 9 protocol: any resident
+        homophily node (freshest first) may stand in for the request, and
+        failing that, the least-important Importance-Cache resident. Only
+        when both layers are empty is the sample skipped — the loader drops
+        it from the batch rather than aborting training.
+        """
+        node = self.homophily.newest_entry()
+        if node is not None:
+            key, payload = node
+            self.stats.substitute_hits += 1
+            self.degraded.substituted_homophily += 1
+            return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
+        resident = self.importance.peek_min()
+        if resident is not None:
+            key, payload = resident
+            self.stats.substitute_hits += 1
+            self.degraded.substituted_importance += 1
+            return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
+        self.stats.misses += 1
+        self.degraded.skipped += 1
+        return FetchOutcome(index, index, None, FetchSource.SKIPPED)
 
     def update_homophily(
         self, node_key: int, payload: Any, neighbor_ids: List[int]
@@ -149,5 +253,32 @@ class SemanticCache:
     def reset_stats(self) -> None:
         """Zero the aggregate and per-layer counters."""
         self.stats.reset()
+        self.degraded.reset()
         self.importance.stats.reset()
         self.homophily.stats.reset()
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Exact snapshot of both layers, the split, and all counters."""
+        return {
+            "total_capacity": self.total_capacity,
+            "imp_ratio": self._imp_ratio,
+            "stats": self.stats.state_dict(),
+            "degraded": self.degraded.state_dict(),
+            "importance": self.importance.state_dict(),
+            "homophily": self.homophily.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot.
+
+        The layer capacities come from the snapshot (the elastic manager
+        may have re-split the cache since construction).
+        """
+        if int(state["total_capacity"]) != self.total_capacity:
+            raise ValueError("semantic-cache snapshot capacity mismatch")
+        self._imp_ratio = float(state["imp_ratio"])
+        self.stats.load_state_dict(state["stats"])
+        self.degraded.load_state_dict(state["degraded"])
+        self.importance.load_state_dict(state["importance"])
+        self.homophily.load_state_dict(state["homophily"])

@@ -9,7 +9,7 @@ into arrays for the model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterator, List, Optional
 
 import numpy as np
 
@@ -56,19 +56,47 @@ class DataLoader:
         self.labels = np.asarray(labels, dtype=np.int64)
         self.fetch_fn = fetch_fn
         self.batch_size = int(batch_size)
+        # Samples dropped by degraded-mode serving (payload-less outcomes
+        # with source SKIPPED); batches shrink rather than the run crashing.
+        self.skipped_count = 0
+
+    def collate(self, ids: np.ndarray) -> Optional[Batch]:
+        """Fetch and collate one batch worth of sample ids.
+
+        Outcomes without a payload (degraded-mode skips) are dropped; a
+        batch whose every sample was skipped collates to ``None``.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        outcomes = [self.fetch_fn(int(i)) for i in ids]
+        kept = [o for o in outcomes if o.payload is not None]
+        self.skipped_count += len(outcomes) - len(kept)
+        if not kept:
+            return None
+        served = np.asarray([o.served_id for o in kept], dtype=np.int64)
+        X = np.stack([np.asarray(o.payload) for o in kept])
+        return Batch(
+            requested=np.asarray([o.requested_id for o in kept], dtype=np.int64),
+            served=served,
+            X=X,
+            y=self.labels[served],
+            sources=[o.source for o in kept],
+        )
+
+    def n_batches(self, order: np.ndarray) -> int:
+        """Batch-slot count for one epoch order (skips still occupy slots)."""
+        n = np.asarray(order).shape[0]
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def batch_ids(self, order: np.ndarray, batch: int) -> np.ndarray:
+        """The sample ids occupying batch slot ``batch`` of ``order``."""
+        order = np.asarray(order, dtype=np.int64)
+        start = batch * self.batch_size
+        return order[start : start + self.batch_size]
 
     def iter_epoch(self, order: np.ndarray) -> Iterator[Batch]:
         """Yield collated batches for one epoch's sample order."""
         order = np.asarray(order, dtype=np.int64)
         for start in range(0, order.shape[0], self.batch_size):
-            ids = order[start : start + self.batch_size]
-            outcomes = [self.fetch_fn(int(i)) for i in ids]
-            served = np.asarray([o.served_id for o in outcomes], dtype=np.int64)
-            X = np.stack([np.asarray(o.payload) for o in outcomes])
-            yield Batch(
-                requested=ids,
-                served=served,
-                X=X,
-                y=self.labels[served],
-                sources=[o.source for o in outcomes],
-            )
+            batch = self.collate(order[start : start + self.batch_size])
+            if batch is not None:
+                yield batch

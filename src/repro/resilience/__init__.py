@@ -1,0 +1,72 @@
+"""Fault-tolerant training runtime: fault injection, degraded serving, recovery.
+
+The paper motivates SpiderCache with training on "low-cost GPU Spot VMs
+... prone to termination" over remote storage. This package makes that
+deployment a first-class, *simulatable* part of the reproduction:
+
+* :mod:`~repro.resilience.faults` — deterministic fail-stop outage and
+  latency-brownout windows on the simulated clock;
+* :mod:`~repro.resilience.breaker` — a circuit breaker over the remote
+  read path (closed / open / half-open, simulated-clock cool-down);
+* :mod:`~repro.resilience.preemption` — spot-VM kill schedules;
+* :mod:`~repro.resilience.trainer` — checkpoint-restart training with
+  bit-exact resume;
+* :mod:`~repro.resilience.campaign` — scenario sweeps reporting recovery
+  cost, degraded-serving counts, and accuracy deltas (the ``repro
+  faults`` CLI).
+"""
+
+from repro.resilience.breaker import (
+    BreakerEvent,
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerStore,
+)
+from repro.resilience.campaign import (
+    DEFAULT_SCENARIOS,
+    CampaignResult,
+    FaultCampaign,
+    FaultScenario,
+    ScenarioReport,
+)
+from repro.resilience.errors import (
+    CircuitOpenError,
+    DegradedModeError,
+    PreemptionError,
+    StorageOutageError,
+)
+from repro.resilience.faults import (
+    BrownoutWindow,
+    FaultInjectingStore,
+    FaultPlan,
+    OutageWindow,
+)
+from repro.resilience.preemption import PreemptionSchedule
+from repro.resilience.state import load_state, save_state
+from repro.resilience.trainer import RECOVERY_STAGE, RecoveryStats, ResilientTrainer
+
+__all__ = [
+    "BreakerEvent",
+    "BreakerState",
+    "CircuitBreaker",
+    "CircuitBreakerStore",
+    "CampaignResult",
+    "DEFAULT_SCENARIOS",
+    "FaultCampaign",
+    "FaultScenario",
+    "ScenarioReport",
+    "CircuitOpenError",
+    "DegradedModeError",
+    "PreemptionError",
+    "StorageOutageError",
+    "BrownoutWindow",
+    "FaultInjectingStore",
+    "FaultPlan",
+    "OutageWindow",
+    "PreemptionSchedule",
+    "load_state",
+    "save_state",
+    "RECOVERY_STAGE",
+    "RecoveryStats",
+    "ResilientTrainer",
+]

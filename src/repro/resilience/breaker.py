@@ -1,0 +1,176 @@
+"""Circuit breaker over the remote-storage read path.
+
+During a fail-stop outage, every fetch burns its full retry budget before
+failing — the loader stalls on a tier that is known-down. The breaker
+converts that into fail-fast rejections the semantic cache can absorb in
+degraded mode:
+
+* **closed** — requests pass through; consecutive failures are counted;
+* **open** — after ``failure_threshold`` consecutive failures, requests are
+  rejected immediately with
+  :class:`~repro.resilience.errors.CircuitOpenError` until ``cooldown_s``
+  of *simulated* time elapses;
+* **half-open** — after the cool-down, probe requests pass through;
+  ``close_threshold`` consecutive successes re-close the breaker, any
+  failure re-opens it (fresh cool-down).
+
+All timing uses the wrapped store's :class:`~repro.storage.clock.SimClock`,
+so breaker trajectories are deterministic per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+import numpy as np
+
+from repro.resilience.errors import CircuitOpenError
+from repro.storage.flaky import TransientFetchError
+from repro.storage.wrappers import StoreWrapper
+
+__all__ = ["BreakerState", "BreakerEvent", "CircuitBreaker", "CircuitBreakerStore"]
+
+
+class BreakerState(str, Enum):
+    """The breaker's position in its closed -> open -> half-open cycle."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One state transition, stamped with simulated time."""
+
+    at_s: float
+    old: BreakerState
+    new: BreakerState
+
+
+class CircuitBreaker:
+    """Closed -> open -> half-open state machine on a simulated clock."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 1.0,
+        close_threshold: int = 1,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if close_threshold < 1:
+            raise ValueError("close_threshold must be >= 1")
+        self.failure_threshold = int(failure_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.close_threshold = int(close_threshold)
+        self.state = BreakerState.CLOSED
+        self.events: List[BreakerEvent] = []
+        self.opens = 0
+        self.fast_failures = 0
+        self._consecutive_failures = 0
+        self._half_open_successes = 0
+        self._opened_at = 0.0
+
+    # ------------------------------------------------------------------
+    def _transition(self, new: BreakerState, now: float) -> None:
+        if new is self.state:
+            return
+        self.events.append(BreakerEvent(now, self.state, new))
+        self.state = new
+
+    def allow(self, now: float) -> bool:
+        """May a request pass through at simulated time ``now``?
+
+        An open breaker whose cool-down has elapsed moves to half-open and
+        admits the probe.
+        """
+        if self.state is BreakerState.OPEN:
+            if now - self._opened_at >= self.cooldown_s:
+                self._half_open_successes = 0
+                self._transition(BreakerState.HALF_OPEN, now)
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        """A passed-through request succeeded."""
+        self._consecutive_failures = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.close_threshold:
+                self._transition(BreakerState.CLOSED, now)
+
+    def record_failure(self, now: float) -> bool:
+        """A passed-through request failed; returns True if now open."""
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(now)
+            return True
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open(now)
+            return True
+        return False
+
+    def _open(self, now: float) -> None:
+        self._opened_at = now
+        self._consecutive_failures = 0
+        self.opens += 1
+        self._transition(BreakerState.OPEN, now)
+
+    # ------------------------------------------------------------------
+    def reopen_close_pairs(self) -> List[tuple]:
+        """(opened_at, reclosed_at) pairs for recovery-time reporting.
+
+        An open with no later close yields ``(opened_at, None)``.
+        """
+        pairs = []
+        opened_at = None
+        for ev in self.events:
+            if ev.new is BreakerState.OPEN and opened_at is None:
+                opened_at = ev.at_s
+            elif ev.new is BreakerState.CLOSED and opened_at is not None:
+                pairs.append((opened_at, ev.at_s))
+                opened_at = None
+        if opened_at is not None:
+            pairs.append((opened_at, None))
+        return pairs
+
+
+class CircuitBreakerStore(StoreWrapper):
+    """Guards a store stack with a :class:`CircuitBreaker`.
+
+    Failures of the wrapped ``get`` (any
+    :class:`~repro.storage.flaky.TransientFetchError`, outage errors
+    included) feed the breaker. The failure that *trips* it — and every
+    rejected request while it cools down — surfaces as
+    :class:`~repro.resilience.errors.CircuitOpenError`, the signal the
+    semantic cache's degraded mode catches.
+    """
+
+    def __init__(self, inner, breaker: CircuitBreaker) -> None:
+        super().__init__(inner)
+        self.breaker = breaker
+
+    def get(self, index: int) -> np.ndarray:
+        now = self.clock.total_seconds
+        if not self.breaker.allow(now):
+            self.breaker.fast_failures += 1
+            raise CircuitOpenError(
+                f"circuit open at t={now:.3f}s; rejecting fetch of {index}"
+            )
+        try:
+            payload = self.inner.get(index)
+        except TransientFetchError as exc:
+            opened = self.breaker.record_failure(self.clock.total_seconds)
+            if opened:
+                raise CircuitOpenError(
+                    f"circuit opened at t={now:.3f}s fetching {index}"
+                ) from exc
+            raise
+        self.breaker.record_success(self.clock.total_seconds)
+        return payload

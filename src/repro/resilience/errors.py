@@ -1,0 +1,52 @@
+"""Failure taxonomy for the fault-tolerant training runtime.
+
+Three failure families matter for spot-VM training over remote storage:
+
+* *transient* fetch errors (:class:`~repro.storage.flaky.TransientFetchError`)
+  — retrying may succeed;
+* *availability* errors (:class:`DegradedModeError` and subclasses) — the
+  remote tier is known-down right now; retrying is pointless and the cache
+  should serve degraded (substitute or skip) instead of crashing;
+* *preemption* (:class:`PreemptionError`) — the VM itself is terminated;
+  only a checkpoint restart recovers.
+"""
+
+from __future__ import annotations
+
+from repro.storage.flaky import TransientFetchError
+
+__all__ = [
+    "DegradedModeError",
+    "CircuitOpenError",
+    "StorageOutageError",
+    "PreemptionError",
+]
+
+
+class DegradedModeError(RuntimeError):
+    """The remote tier is unavailable; serve degraded instead of retrying."""
+
+
+class CircuitOpenError(DegradedModeError):
+    """Fail-fast rejection: the circuit breaker is open (cooling down)."""
+
+
+class StorageOutageError(TransientFetchError):
+    """Fail-stop outage window: every fetch fails until the window closes.
+
+    Subclasses :class:`TransientFetchError` so retry layers treat it like
+    any other transient failure (retries burn out during a real outage,
+    which is exactly what trips the circuit breaker).
+    """
+
+
+class PreemptionError(RuntimeError):
+    """The (simulated) spot VM was terminated mid-training."""
+
+    def __init__(self, epoch: int, batch: int, at_s: float) -> None:
+        super().__init__(
+            f"preempted at epoch {epoch}, batch {batch} (t={at_s:.3f}s)"
+        )
+        self.epoch = int(epoch)
+        self.batch = int(batch)
+        self.at_s = float(at_s)

@@ -1,0 +1,79 @@
+"""Deterministic preemption schedules (spot-VM terminations).
+
+The paper motivates SpiderCache with training on "low-cost GPU Spot VMs
+... prone to termination". This module injects those terminations
+reproducibly: a :class:`PreemptionSchedule` fires at exact ``(epoch,
+batch)`` slots and/or at simulated-clock instants, raising
+:class:`~repro.resilience.errors.PreemptionError` from the trainer's
+per-batch hook. Each trigger fires exactly once — after the resilient
+trainer restores from a checkpoint and replays, the same slot passes
+through without re-firing, which is what lets a run with a finite
+schedule terminate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.resilience.errors import PreemptionError
+
+__all__ = ["PreemptionSchedule"]
+
+
+class PreemptionSchedule:
+    """Kill points for a training run, keyed to slots or simulated time.
+
+    Parameters
+    ----------
+    at:
+        ``(epoch, batch)`` pairs; the run is killed *after* that batch
+        slot finishes (mid-epoch, so replay is observable).
+    at_times_s:
+        Simulated-clock instants; the run is killed at the first batch
+        boundary where ``clock.total_seconds`` has passed the instant.
+    """
+
+    def __init__(
+        self,
+        at: Optional[Iterable[Tuple[int, int]]] = None,
+        at_times_s: Optional[Iterable[float]] = None,
+    ) -> None:
+        self._points: List[Tuple[int, int]] = sorted(
+            {(int(e), int(b)) for e, b in (at or [])}
+        )
+        self._times: List[float] = sorted(float(t) for t in (at_times_s or []))
+        self._fired_points: Set[Tuple[int, int]] = set()
+        self._fired_times: Set[float] = set()
+
+    # ------------------------------------------------------------------
+    def check(self, epoch: int, batch: int, now_s: float) -> None:
+        """Raise :class:`PreemptionError` if a pending trigger has hit."""
+        key = (int(epoch), int(batch))
+        if key in self._points and key not in self._fired_points:
+            self._fired_points.add(key)
+            raise PreemptionError(epoch, batch, now_s)
+        for t in self._times:
+            if t in self._fired_times:
+                continue
+            if now_s >= t:
+                self._fired_times.add(t)
+                raise PreemptionError(epoch, batch, now_s)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return len(self._points) + len(self._times)
+
+    @property
+    def fired(self) -> int:
+        return len(self._fired_points) + len(self._fired_times)
+
+    @property
+    def pending(self) -> int:
+        return self.total - self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PreemptionSchedule(points={self._points}, times={self._times}, "
+            f"fired={self.fired}/{self.total})"
+        )

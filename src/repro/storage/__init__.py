@@ -15,8 +15,10 @@ from repro.storage.latency import (
     LognormalLatency,
     ParetoTailLatency,
 )
+from repro.storage.wrappers import StoreWrapper
 
 __all__ = [
+    "StoreWrapper",
     "RemoteStore",
     "InMemoryStore",
     "SimClock",

@@ -100,6 +100,10 @@ class InMemoryStore:
     def __len__(self) -> int:
         return self._payloads.shape[0]
 
+    def size_of(self, index: int) -> int:
+        """In-memory payload size in bytes (no simulated on-storage size)."""
+        return int(np.asarray(self._payloads[index]).nbytes)
+
     def get(self, index: int) -> np.ndarray:
         """Fetch one payload (free: no simulated latency)."""
         if not 0 <= index < len(self):

@@ -49,6 +49,16 @@ class SimClock:
         """Zero all stages."""
         self._stage_s.clear()
 
+    def state_dict(self) -> Dict[str, float]:
+        """Serializable snapshot of per-stage totals (for checkpoints)."""
+        return dict(self._stage_s)
+
+    def load_state_dict(self, state: Dict[str, float]) -> None:
+        """Replace accumulated time with a :meth:`state_dict` snapshot."""
+        self._stage_s.clear()
+        for stage, secs in state.items():
+            self._stage_s[str(stage)] = float(secs)
+
     def merge(self, other: "SimClock") -> None:
         """Add another clock's accumulated time into this one."""
         for stage, secs in other.breakdown().items():

@@ -12,15 +12,16 @@ module provides:
   through a retrying store over a flaky backend must produce *identical
   learning results* to a clean run — only the simulated time grows — which
   the tests assert.
+
+Richer fault models (fail-stop outage windows, latency brownouts, circuit
+breaking) live in :mod:`repro.resilience`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
-from repro.storage.clock import SimClock
+from repro.storage.wrappers import StoreWrapper
 from repro.utils.rng import RngLike, resolve_rng
 
 __all__ = ["TransientFetchError", "FlakyStore", "RetryingStore"]
@@ -30,27 +31,16 @@ class TransientFetchError(RuntimeError):
     """A fetch failed transiently; retrying may succeed."""
 
 
-class FlakyStore:
+class FlakyStore(StoreWrapper):
     """Store wrapper that injects independent per-fetch failures."""
 
     def __init__(self, inner, failure_prob: float = 0.05, rng: RngLike = None) -> None:
         if not 0.0 <= failure_prob < 1.0:
             raise ValueError("failure_prob must be in [0, 1)")
-        self.inner = inner
+        super().__init__(inner)
         self.failure_prob = float(failure_prob)
         self._rng = resolve_rng(rng)
         self.failures_injected = 0
-
-    def __len__(self) -> int:
-        return len(self.inner)
-
-    @property
-    def clock(self) -> SimClock:
-        return self.inner.clock
-
-    @property
-    def fetch_count(self) -> int:
-        return self.inner.fetch_count
 
     def get(self, index: int) -> np.ndarray:
         """Fetch, raising :class:`TransientFetchError` on injected failure."""
@@ -59,17 +49,11 @@ class FlakyStore:
             raise TransientFetchError(f"injected failure fetching {index}")
         return self.inner.get(index)
 
-    def peek(self, index: int) -> np.ndarray:
-        """Free read; never fails (no fetch is simulated)."""
-        return self.inner.peek(index)
-
-    def reset_counters(self) -> None:
-        """Zero the inner store's counters and the failure count."""
-        self.inner.reset_counters()
+    def _reset_own_counters(self) -> None:
         self.failures_injected = 0
 
 
-class RetryingStore:
+class RetryingStore(StoreWrapper):
     """Store wrapper with bounded exponential-backoff retries.
 
     Each retry waits ``backoff_s * 2**attempt`` of *simulated* time (charged
@@ -85,21 +69,10 @@ class RetryingStore:
             raise ValueError("max_retries must be non-negative")
         if backoff_s < 0:
             raise ValueError("backoff_s must be non-negative")
-        self.inner = inner
+        super().__init__(inner)
         self.max_retries = int(max_retries)
         self.backoff_s = float(backoff_s)
         self.retries_used = 0
-
-    def __len__(self) -> int:
-        return len(self.inner)
-
-    @property
-    def clock(self) -> SimClock:
-        return self.inner.clock
-
-    @property
-    def fetch_count(self) -> int:
-        return self.inner.fetch_count
 
     def get(self, index: int) -> np.ndarray:
         """Fetch with retries; the final failure propagates."""
@@ -114,11 +87,5 @@ class RetryingStore:
                 self.retries_used += 1
                 attempt += 1
 
-    def peek(self, index: int) -> np.ndarray:
-        """Free read from the wrapped store."""
-        return self.inner.peek(index)
-
-    def reset_counters(self) -> None:
-        """Zero the inner store's counters and the retry count."""
-        self.inner.reset_counters()
+    def _reset_own_counters(self) -> None:
         self.retries_used = 0

@@ -20,9 +20,19 @@ import numpy as np
 from repro.nn.models import Model
 from repro.nn.optim import SGD
 
-__all__ = ["save_checkpoint", "load_checkpoint", "restore_into"]
+__all__ = ["CheckpointError", "save_checkpoint", "load_checkpoint", "restore_into"]
 
 _FORMAT_VERSION = 1
+
+
+class CheckpointError(RuntimeError, ValueError):
+    """A checkpoint file is unreadable, malformed, or from the future.
+
+    Raised with a message naming the file and the specific defect
+    (truncated archive, missing header, unsupported ``format_version``)
+    so operators can tell a corrupt checkpoint from a code bug. Subclasses
+    ``ValueError`` too for callers that predate the dedicated type.
+    """
 
 
 def save_checkpoint(
@@ -64,12 +74,41 @@ def load_checkpoint(path: Union[str, Path]) -> Dict[str, Any]:
     Returns ``{"epoch", "metadata", "model", "optimizer_velocity"}`` where
     ``model`` maps state-dict keys to arrays and ``optimizer_velocity`` is a
     list (or ``None`` when the checkpoint carried no optimizer).
+
+    Raises :class:`CheckpointError` (not a bare decode/zip error) for a
+    truncated or garbage archive, a missing header, or an archive written
+    by a newer format version.
     """
-    with np.load(Path(path)) as data:
-        header = json.loads(bytes(data["__header__"]).decode("utf-8"))
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported checkpoint version {header.get('format_version')}"
+    path = Path(path)
+    try:
+        npz = np.load(path)
+    except FileNotFoundError:
+        raise
+    except Exception as exc:  # zipfile/pickle/np errors → one clear type
+        raise CheckpointError(
+            f"checkpoint {path} is not a readable .npz archive "
+            f"(truncated or corrupt?): {exc}"
+        ) from exc
+    with npz as data:
+        if "__header__" not in data.files:
+            raise CheckpointError(
+                f"checkpoint {path} has no __header__ entry — not a "
+                "checkpoint archive, or one written before headers existed"
+            )
+        try:
+            header = json.loads(bytes(data["__header__"]).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} header is not valid JSON "
+                f"(corrupt archive?): {exc}"
+            ) from exc
+        version = header.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has format_version {version!r}; this "
+                f"build reads version {_FORMAT_VERSION}. A newer version "
+                "means the checkpoint was written by a newer build — "
+                "upgrade before resuming from it."
             )
         model_state = {
             k[len("model/"):]: data[k] for k in data.files if k.startswith("model/")

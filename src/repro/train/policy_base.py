@@ -98,6 +98,20 @@ class TrainingPolicy:
         """Post-epoch hook: elastic ratio adjustment, score snapshots."""
 
     # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Checkpointable policy state; subclasses extend.
+
+        The base contribution is the policy's RNG stream (the bit-generator
+        state), which exact mid-run recovery needs: epoch orders drawn after
+        a restore must match the orders an uninterrupted run would draw.
+        """
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (call after ``setup``)."""
+        self._rng.bit_generator.state = state["rng"]
+
+    # ------------------------------------------------------------------
     def stats(self) -> CacheStats:
         """Aggregate cache stats (empty for cacheless policies)."""
         return CacheStats()

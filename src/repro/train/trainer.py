@@ -14,12 +14,22 @@ simulated time per the Fig.-2 pipeline:
 
 Real wall-clock time is spent doing genuine forward/backward math — the
 learning dynamics are real; only I/O and GPU-relative speeds are simulated.
+
+The epoch loop is resumable: :meth:`Trainer._run_epoch` accepts a
+pre-drawn order, a starting batch slot, and a partially-filled
+:class:`EpochAccumulator`, and invokes a per-batch hook — the seams
+:class:`~repro.resilience.trainer.ResilientTrainer` uses to checkpoint
+mid-epoch and replay exactly after a simulated preemption. Compute and
+IS time are charged to the clock *per batch* (same epoch totals) so
+simulated time advances mid-epoch — letting outage windows end and
+circuit-breaker cool-downs elapse between batches rather than only at
+epoch boundaries.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -36,7 +46,7 @@ from repro.train.pipeline import StageCostModel
 from repro.train.policy_base import PolicyContext, TrainingPolicy
 from repro.utils.rng import RngLike, resolve_rng
 
-__all__ = ["Trainer", "TrainerConfig"]
+__all__ = ["Trainer", "TrainerConfig", "EpochAccumulator"]
 
 
 @dataclass
@@ -72,6 +82,49 @@ class TrainerConfig:
         if isinstance(self.lr_schedule, str):
             raise ValueError(f"unknown lr_schedule {self.lr_schedule!r}")
         return self.lr_schedule
+
+
+@dataclass
+class EpochAccumulator:
+    """Mid-epoch running totals — the restartable part of an epoch.
+
+    Checkpointing this (plus the order array and the next batch slot) is
+    what lets a preempted run resume mid-epoch and emit the exact
+    :class:`~repro.train.metrics.EpochMetrics` an uninterrupted run would.
+    """
+
+    loss: float = 0.0
+    n_seen: int = 0
+    n_batches: int = 0  # non-empty (trained) batches
+    compute_s: float = 0.0
+    preprocess_s: float = 0.0
+    hits: int = 0
+    load_before_s: float = 0.0  # raw data_load stage total at epoch start
+    stats_before: Tuple[int, int, int, int] = (0, 0, 0, 0)
+
+    def state_dict(self) -> dict:
+        """Serializable snapshot of the running totals."""
+        return {
+            "loss": self.loss,
+            "n_seen": self.n_seen,
+            "n_batches": self.n_batches,
+            "compute_s": self.compute_s,
+            "preprocess_s": self.preprocess_s,
+            "hits": self.hits,
+            "load_before_s": self.load_before_s,
+            "stats_before": list(self.stats_before),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot."""
+        self.loss = float(state["loss"])
+        self.n_seen = int(state["n_seen"])
+        self.n_batches = int(state["n_batches"])
+        self.compute_s = float(state["compute_s"])
+        self.preprocess_s = float(state["preprocess_s"])
+        self.hits = int(state["hits"])
+        self.load_before_s = float(state["load_before_s"])
+        self.stats_before = tuple(int(x) for x in state["stats_before"])
 
 
 class Trainer:
@@ -127,6 +180,7 @@ class Trainer:
         self.loader = DataLoader(
             train_set.y, policy.fetch, batch_size=self.config.batch_size
         )
+        self._val_accuracy = 0.0
 
     # ------------------------------------------------------------------
     def _stage_costs(self) -> StageCostModel:
@@ -141,119 +195,160 @@ class Trainer:
         return StageCostModel(42.0, 35.0,
                               16.0 if policy_is is None else policy_is)
 
-    def run(self) -> TrainResult:
-        """Train for ``config.epochs`` epochs; returns the full run record."""
-        cfg = self.config
-        result = TrainResult(
+    def _new_result(self) -> TrainResult:
+        return TrainResult(
             policy_name=self.policy.name,
             model_name=self.model.spec.name if self.model.spec else "custom",
             dataset_name=self.train_set.name,
         )
-        costs = self._stage_costs()
-        mode = costs.recommended_mode()
-        visible_is_per_batch_ms = costs.visible_is_ms(mode)
-        val_accuracy = 0.0
 
-        for epoch in range(cfg.epochs):
-            self.optimizer.set_epoch(epoch)
+    def run(self) -> TrainResult:
+        """Train for ``config.epochs`` epochs; returns the full run record."""
+        result = self._new_result()
+        for epoch in range(self.config.epochs):
+            self._run_epoch(epoch, result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _run_epoch(
+        self,
+        epoch: int,
+        result: TrainResult,
+        order: Optional[np.ndarray] = None,
+        start_batch: int = 0,
+        acc: Optional[EpochAccumulator] = None,
+        batch_hook: Optional[
+            Callable[[int, int, np.ndarray, "EpochAccumulator"], None]
+        ] = None,
+    ) -> None:
+        """One epoch, optionally resumed from batch slot ``start_batch``.
+
+        A fresh epoch (``order is None``) runs the policy's ``before_epoch``
+        hook and draws the order; a resumed one must pass the checkpointed
+        ``order``/``acc`` (the hook already ran in the original timeline —
+        its effects live in the restored policy state). ``batch_hook`` fires
+        after every batch slot — substituted or skipped alike — with
+        ``(epoch, slot, order, acc)``; resilience layers preempt and
+        checkpoint from it.
+        """
+        cfg = self.config
+        costs = self._stage_costs()
+        visible_is_per_batch_ms = costs.visible_is_ms(costs.recommended_mode())
+
+        self.optimizer.set_epoch(epoch)
+        if order is None:
             self.policy.before_epoch(epoch)
             order = self.policy.epoch_order(epoch)
-            stats_before = _snapshot(self.policy)
-            load_before = self.clock.stage_seconds(RemoteStore.STAGE)
-
-            epoch_loss = 0.0
-            n_seen = 0
-            n_batches = 0
-            compute_s = 0.0
-            preprocess_s = 0.0
-            hits_this_epoch = 0
-            transform = cfg.transform
-
-            for batch in self.loader.iter_epoch(order):
-                self.optimizer.zero_grad()
-                x = batch.X
-                if transform is not None:
-                    x = transform(x, training=True)
-                    preprocess_s += (
-                        transform.cost_us_per_item * len(batch) / 1e6
-                    )
-                mask = None
-                trained_fraction = 1.0
-                # One forward/backward pass; policies that mask backprop
-                # (iCache) need the losses first, so their path re-runs the
-                # pass with the per-sample weights applied.
-                losses, emb = self.model.train_batch(x, batch.y)
-                mask = self.policy.backprop_mask(batch.served, losses)
-                if mask is not None:
-                    # Re-run with weights (the probe above already consumed
-                    # the layer caches, so gradients must be rebuilt).
-                    self.optimizer.zero_grad()
-                    losses, emb = self.model.train_batch(x, batch.y, mask)
-                    trained_fraction = float(np.mean(mask > 0))
-                self.optimizer.step()
-
-                self.policy.after_batch(
-                    batch.requested, batch.served, losses, emb, epoch
-                )
-
-                epoch_loss += float(losses.sum())
-                n_seen += len(batch)
-                n_batches += 1
-                hits_this_epoch += sum(
-                    1 for s in batch.sources if s != FetchSource.REMOTE
-                )
-                scale = len(batch) / cfg.reference_batch
-                compute_s += (
-                    costs.stage1_ms + costs.stage2_ms * trained_fraction
-                ) / 1e3 * scale
-
-            # Stage accounting for the epoch.
-            raw_load_s = self.clock.stage_seconds(RemoteStore.STAGE) - load_before
-            data_load_s = raw_load_s / cfg.io_workers + hits_this_epoch * cfg.hit_latency_s
-            is_visible_s = n_batches * visible_is_per_batch_ms / 1e3
-            self.clock.advance("compute", compute_s)
-            self.clock.advance("is_visible", is_visible_s)
-            if preprocess_s:
-                self.clock.advance("preprocess", preprocess_s)
-
-            if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
-                val_accuracy, _ = self.model.evaluate(self.test_set.X, self.test_set.y)
-            self.policy.after_epoch(epoch, val_accuracy)
-
-            stats_after = _snapshot(self.policy)
-            d_req = stats_after[0] - stats_before[0]
-            d_hit = stats_after[1] - stats_before[1]
-            d_exact = stats_after[2] - stats_before[2]
-            d_sub = stats_after[3] - stats_before[3]
-            hit_ratio = d_hit / d_req if d_req else 0.0
-            exact_ratio = d_exact / d_req if d_req else 0.0
-            sub_ratio = d_sub / d_req if d_req else 0.0
-
-            score_std = None
-            table = getattr(self.policy, "score_table", None)
-            if table is not None and table.std_history:
-                score_std = table.std_history[-1]
-
-            result.epochs.append(
-                EpochMetrics(
-                    epoch=epoch,
-                    train_loss=epoch_loss / max(n_seen, 1),
-                    val_accuracy=val_accuracy,
-                    hit_ratio=hit_ratio,
-                    exact_hit_ratio=exact_ratio,
-                    substitute_ratio=sub_ratio,
-                    data_load_s=data_load_s,
-                    compute_s=compute_s,
-                    is_visible_s=is_visible_s,
-                    epoch_time_s=(
-                        data_load_s + compute_s + is_visible_s + preprocess_s
-                    ),
-                    imp_ratio=self.policy.imp_ratio,
-                    score_std=score_std,
-                    preprocess_s=preprocess_s,
-                )
+        if acc is None:
+            acc = EpochAccumulator(
+                load_before_s=self.clock.stage_seconds(RemoteStore.STAGE),
+                stats_before=_snapshot(self.policy),
             )
-        return result
+
+        for slot in range(start_batch, self.loader.n_batches(order)):
+            batch = self.loader.collate(self.loader.batch_ids(order, slot))
+            if batch is not None:
+                self._train_batch(
+                    batch, epoch, acc, costs, visible_is_per_batch_ms
+                )
+            if batch_hook is not None:
+                batch_hook(epoch, slot, order, acc)
+
+        # Stage accounting for the epoch (compute/IS/preprocess were
+        # already charged to the clock per batch).
+        raw_load_s = self.clock.stage_seconds(RemoteStore.STAGE) - acc.load_before_s
+        data_load_s = raw_load_s / cfg.io_workers + acc.hits * cfg.hit_latency_s
+        is_visible_s = acc.n_batches * visible_is_per_batch_ms / 1e3
+
+        if epoch % cfg.eval_every == 0 or epoch == cfg.epochs - 1:
+            self._val_accuracy, _ = self.model.evaluate(
+                self.test_set.X, self.test_set.y
+            )
+        self.policy.after_epoch(epoch, self._val_accuracy)
+
+        stats_after = _snapshot(self.policy)
+        d_req = stats_after[0] - acc.stats_before[0]
+        d_hit = stats_after[1] - acc.stats_before[1]
+        d_exact = stats_after[2] - acc.stats_before[2]
+        d_sub = stats_after[3] - acc.stats_before[3]
+        hit_ratio = d_hit / d_req if d_req else 0.0
+        exact_ratio = d_exact / d_req if d_req else 0.0
+        sub_ratio = d_sub / d_req if d_req else 0.0
+
+        score_std = None
+        table = getattr(self.policy, "score_table", None)
+        if table is not None and table.std_history:
+            score_std = table.std_history[-1]
+
+        result.epochs.append(
+            EpochMetrics(
+                epoch=epoch,
+                train_loss=acc.loss / max(acc.n_seen, 1),
+                val_accuracy=self._val_accuracy,
+                hit_ratio=hit_ratio,
+                exact_hit_ratio=exact_ratio,
+                substitute_ratio=sub_ratio,
+                data_load_s=data_load_s,
+                compute_s=acc.compute_s,
+                is_visible_s=is_visible_s,
+                epoch_time_s=(
+                    data_load_s + acc.compute_s + is_visible_s
+                    + acc.preprocess_s
+                ),
+                imp_ratio=self.policy.imp_ratio,
+                score_std=score_std,
+                preprocess_s=acc.preprocess_s,
+            )
+        )
+
+    def _train_batch(
+        self,
+        batch,
+        epoch: int,
+        acc: EpochAccumulator,
+        costs: StageCostModel,
+        visible_is_per_batch_ms: float,
+    ) -> None:
+        cfg = self.config
+        transform = cfg.transform
+        self.optimizer.zero_grad()
+        x = batch.X
+        batch_preprocess_s = 0.0
+        if transform is not None:
+            x = transform(x, training=True)
+            batch_preprocess_s = transform.cost_us_per_item * len(batch) / 1e6
+            acc.preprocess_s += batch_preprocess_s
+        trained_fraction = 1.0
+        # One forward/backward pass; policies that mask backprop (iCache)
+        # need the losses first, so their path re-runs the pass with the
+        # per-sample weights applied.
+        losses, emb = self.model.train_batch(x, batch.y)
+        mask = self.policy.backprop_mask(batch.served, losses)
+        if mask is not None:
+            # Re-run with weights (the probe above already consumed the
+            # layer caches, so gradients must be rebuilt).
+            self.optimizer.zero_grad()
+            losses, emb = self.model.train_batch(x, batch.y, mask)
+            trained_fraction = float(np.mean(mask > 0))
+        self.optimizer.step()
+
+        self.policy.after_batch(
+            batch.requested, batch.served, losses, emb, epoch
+        )
+
+        acc.loss += float(losses.sum())
+        acc.n_seen += len(batch)
+        acc.n_batches += 1
+        acc.hits += sum(1 for s in batch.sources if s != FetchSource.REMOTE)
+        scale = len(batch) / cfg.reference_batch
+        batch_compute_s = (
+            costs.stage1_ms + costs.stage2_ms * trained_fraction
+        ) / 1e3 * scale
+        acc.compute_s += batch_compute_s
+        self.clock.advance("compute", batch_compute_s)
+        self.clock.advance("is_visible", visible_is_per_batch_ms / 1e3)
+        if batch_preprocess_s:
+            self.clock.advance("preprocess", batch_preprocess_s)
 
 
 def _snapshot(policy: TrainingPolicy):

@@ -140,6 +140,27 @@ class IndexedMinHeap:
         return [e[2] for e in self._heap]
 
     # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Exact snapshot: heap-array order, tie-break counters and all.
+
+        Restoring this (rather than re-pushing keys) preserves tie-breaking
+        behaviour, so eviction order after a restore is bit-identical to a
+        never-interrupted run.
+        """
+        return {
+            "entries": [[e[0], e[1], e[2]] for e in self._heap],
+            "counter": self._counter,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Replace contents with a :meth:`state_dict` snapshot."""
+        self._heap = [[float(p), int(t), int(k)] for p, t, k in state["entries"]]
+        self._pos = {e[2]: i for i, e in enumerate(self._heap)}
+        self._counter = int(state["counter"])
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _less(self, a: int, b: int) -> bool:

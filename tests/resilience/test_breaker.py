@@ -1,0 +1,124 @@
+"""Circuit-breaker state machine and store-guard tests."""
+
+import numpy as np
+import pytest
+
+from repro.resilience.breaker import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerStore,
+)
+from repro.resilience.errors import CircuitOpenError, StorageOutageError
+from repro.resilience.faults import FaultInjectingStore, FaultPlan, OutageWindow
+from repro.storage.backends import RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency
+
+
+def _store(n=20):
+    return RemoteStore(
+        np.arange(float(n))[:, None], item_nbytes=512,
+        latency=ConstantLatency(base_s=1e-3), clock=SimClock(),
+    )
+
+
+def test_opens_after_consecutive_failures():
+    br = CircuitBreaker(failure_threshold=3, cooldown_s=1.0)
+    assert not br.record_failure(0.0)
+    assert not br.record_failure(0.1)
+    assert br.record_failure(0.2)
+    assert br.state is BreakerState.OPEN
+    assert br.opens == 1
+    assert not br.allow(0.5)  # cooling down
+
+
+def test_success_resets_failure_streak():
+    br = CircuitBreaker(failure_threshold=2)
+    br.record_failure(0.0)
+    br.record_success(0.1)
+    assert not br.record_failure(0.2)  # streak restarted
+    assert br.state is BreakerState.CLOSED
+
+
+def test_half_open_after_cooldown_then_closes():
+    br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0, close_threshold=2)
+    br.record_failure(0.0)
+    assert not br.allow(0.5)
+    assert br.allow(1.0)  # cooldown elapsed -> half-open probe
+    assert br.state is BreakerState.HALF_OPEN
+    br.record_success(1.1)
+    assert br.state is BreakerState.HALF_OPEN  # needs close_threshold successes
+    br.record_success(1.2)
+    assert br.state is BreakerState.CLOSED
+
+
+def test_half_open_failure_reopens():
+    br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+    br.record_failure(0.0)
+    assert br.allow(1.5)
+    assert br.record_failure(1.6)
+    assert br.state is BreakerState.OPEN
+    assert br.opens == 2
+    assert not br.allow(2.0)  # fresh cooldown from t=1.6
+    assert br.allow(2.7)
+
+
+def test_events_and_recovery_pairs():
+    br = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+    br.record_failure(0.0)
+    br.allow(1.0)
+    br.record_success(1.1)
+    pairs = br.reopen_close_pairs()
+    assert pairs == [(0.0, 1.1)]
+    br.record_failure(2.0)
+    assert br.reopen_close_pairs()[-1] == (2.0, None)
+
+
+def test_breaker_store_trips_then_fails_fast_then_recloses():
+    store = _store()
+    clock = store.clock
+    faulty = FaultInjectingStore(
+        store, FaultPlan(outages=[OutageWindow(0.0, 1.0)])
+    )
+    br = CircuitBreaker(failure_threshold=2, cooldown_s=0.5)
+    guarded = CircuitBreakerStore(faulty, br)
+
+    # Below threshold: the original outage error propagates.
+    with pytest.raises(StorageOutageError):
+        guarded.get(0)
+    # Threshold reached: the breaker trips, surfacing CircuitOpenError.
+    with pytest.raises(CircuitOpenError):
+        guarded.get(1)
+    assert br.state is BreakerState.OPEN
+
+    # While open: fail-fast without touching the inner store.
+    failures_before = faulty.outage_failures
+    with pytest.raises(CircuitOpenError):
+        guarded.get(2)
+    assert faulty.outage_failures == failures_before
+    assert br.fast_failures == 1
+
+    # Cooldown elapses but the outage persists: the half-open probe fails
+    # and the breaker reopens.
+    clock.advance("data_load", 0.6)
+    with pytest.raises(CircuitOpenError):
+        guarded.get(3)
+    assert br.state is BreakerState.OPEN
+    assert br.opens == 2
+
+    # Outage over + cooldown over: the probe succeeds and the breaker
+    # re-closes.
+    clock.advance("data_load", 1.0)
+    np.testing.assert_array_equal(guarded.get(4), store.peek(4))
+    assert br.state is BreakerState.CLOSED
+    assert guarded.fetch_count == 1  # counters forward through the stack
+
+
+def test_breaker_store_passthrough_when_healthy():
+    store = _store()
+    guarded = CircuitBreakerStore(store, CircuitBreaker())
+    for i in range(5):
+        guarded.get(i)
+    assert guarded.breaker.state is BreakerState.CLOSED
+    assert guarded.fetch_count == 5
+    assert guarded.unwrap() is store

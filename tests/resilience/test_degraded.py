@@ -1,0 +1,136 @@
+"""Degraded-mode serving: widened substitution instead of crashing.
+
+Includes the graceful-degradation acceptance test: a run whose remote
+tier fails for a whole outage window completes training without raising,
+serves degraded, and the breaker re-closes once the outage clears.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.semantic_cache import FetchSource, SemanticCache
+from repro.data.loader import DataLoader
+from repro.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    CircuitBreakerStore,
+    FaultInjectingStore,
+    FaultPlan,
+    OutageWindow,
+)
+from repro.resilience.errors import DegradedModeError
+from repro.storage.flaky import TransientFetchError
+from repro.train.trainer import Trainer
+
+
+def _boom(index):
+    raise DegradedModeError("remote down")
+
+
+def test_strict_mode_propagates_errors():
+    cache = SemanticCache(total_capacity=4)
+    with pytest.raises(DegradedModeError):
+        cache.fetch(0, 1.0, _boom)
+
+
+def test_degraded_skip_when_both_layers_empty():
+    cache = SemanticCache(total_capacity=4)
+    cache.enable_degraded_mode()
+    out = cache.fetch(0, 1.0, _boom)
+    assert out.source is FetchSource.SKIPPED
+    assert out.payload is None
+    assert cache.degraded.skipped == 1
+    assert cache.degraded.errors_absorbed == 1
+
+
+def test_degraded_serves_newest_homophily_entry():
+    cache = SemanticCache(total_capacity=10, imp_ratio=0.5)
+    cache.update_homophily(3, np.full(4, 3.0), [30, 31])
+    cache.update_homophily(7, np.full(4, 7.0), [70])
+    cache.enable_degraded_mode()
+    out = cache.fetch(99, 1.0, _boom)  # 99 is nobody's neighbor
+    assert out.source is FetchSource.DEGRADED
+    assert out.served_id == 7  # freshest resident node stands in
+    assert cache.degraded.substituted_homophily == 1
+
+
+def test_degraded_falls_back_to_importance_min():
+    cache = SemanticCache(total_capacity=4, imp_ratio=1.0)
+    cache.importance.admit(1, np.full(4, 1.0), score=5.0)
+    cache.importance.admit(2, np.full(4, 2.0), score=1.0)
+    cache.enable_degraded_mode()
+    out = cache.fetch(99, 1.0, _boom)
+    assert out.source is FetchSource.DEGRADED
+    assert out.served_id == 2  # least-important resident
+    assert cache.degraded.substituted_importance == 1
+
+
+def test_degraded_mode_default_errors_cover_transient():
+    cache = SemanticCache(total_capacity=4)
+    cache.enable_degraded_mode()
+
+    def flaky(index):
+        raise TransientFetchError("blip")
+
+    out = cache.fetch(0, 1.0, flaky)
+    assert out.source is FetchSource.SKIPPED
+    cache.disable_degraded_mode()
+    with pytest.raises(TransientFetchError):
+        cache.fetch(0, 1.0, flaky)
+
+
+def test_loader_drops_skipped_samples():
+    labels = np.arange(10) % 3
+
+    def fetch(i):
+        from repro.core.semantic_cache import FetchOutcome
+
+        if i % 2 == 0:
+            return FetchOutcome(i, i, None, FetchSource.SKIPPED)
+        return FetchOutcome(i, i, np.full(4, float(i)), FetchSource.REMOTE)
+
+    loader = DataLoader(labels, fetch, batch_size=4)
+    batch = loader.collate(np.arange(4))
+    assert len(batch) == 2  # ids 1, 3 kept
+    assert loader.skipped_count == 2
+    # A fully-skipped batch collates to None but still occupies its slot.
+    all_even = loader.collate(np.array([0, 2, 4]))
+    assert all_even is None
+    assert loader.n_batches(np.arange(10)) == 3
+    np.testing.assert_array_equal(loader.batch_ids(np.arange(10), 2), [8, 9])
+
+
+def test_graceful_degradation_acceptance(build_run):
+    """Remote tier dead for an outage window; training survives end-to-end."""
+    # Clean run to size the outage window in simulated seconds.
+    clean, _, _ = build_run(epochs=3)
+    clean.run()
+    total = clean.clock.total_seconds
+
+    trainer, _, policy = build_run(Trainer, epochs=3)
+    # Early, short window: the degraded run's clock advances only via
+    # compute while the outage is on (no I/O is charged), so a late or
+    # long window would outlive the run itself.
+    plan = FaultPlan(outages=[OutageWindow(0.05 * total, 0.10 * total)])
+    faulty = FaultInjectingStore(trainer.store, plan)
+    breaker = CircuitBreaker(failure_threshold=3, cooldown_s=0.01 * total)
+    guarded = CircuitBreakerStore(faulty, breaker)
+    trainer.store = guarded
+    trainer.policy.ctx.store = guarded
+    policy.cache.enable_degraded_mode()
+
+    result = trainer.run()  # must not raise
+
+    assert len(result.epochs) == 3
+    # The outage actually hit and the cache served degraded.
+    assert faulty.outage_failures > 0
+    assert policy.cache.degraded.total > 0
+    assert policy.cache.degraded.errors_absorbed > 0
+    # The breaker opened during the outage and re-closed after it.
+    assert breaker.opens > 0
+    assert breaker.state is BreakerState.CLOSED
+    pairs = breaker.reopen_close_pairs()
+    assert pairs and pairs[-1][1] is not None
+    # Fault counters stay visible through the wrapper stack.
+    assert guarded.outage_failures == faulty.outage_failures
+    assert guarded.fetch_count == trainer.store.unwrap().fetch_count

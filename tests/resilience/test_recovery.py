@@ -1,0 +1,188 @@
+"""Exact-recovery tests: preempted runs resume bit-for-bit.
+
+The acceptance property: a run killed mid-epoch and resumed from its
+checkpoint produces the *identical* parameter trajectory, cache contents,
+epoch metrics, and simulated clock as a run that was never interrupted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    PreemptionError,
+    PreemptionSchedule,
+    ResilientTrainer,
+    load_state,
+    save_state,
+)
+from repro.train.trainer import Trainer
+
+
+def _params_equal(a, b):
+    sa, sb = a.state_dict(), b.state_dict()
+    assert sa.keys() == sb.keys()
+    return all(np.array_equal(sa[k], sb[k]) for k in sa)
+
+
+# ---------------------------------------------------------------------------
+# State serializer
+
+
+def test_save_state_round_trips_nested_trees(tmp_path):
+    state = {
+        "arrays": {"f64": np.linspace(0, 1, 7), "i64": np.arange(5),
+                   "bool": np.array([True, False])},
+        "rng_like": {"state": {"state": 2 ** 100 + 7, "inc": 2 ** 90 + 3}},
+        "list": [1, 2.5, "three", None, {"deep": np.ones((2, 3))}],
+        "tuple": (1, 2, "x"),
+        "scalars": {"none": None, "flag": True, "f": 0.25},
+    }
+    path = save_state(tmp_path / "s.npz", state)
+    back = load_state(path)
+    np.testing.assert_array_equal(back["arrays"]["f64"], state["arrays"]["f64"])
+    assert back["arrays"]["i64"].dtype == np.int64
+    assert back["arrays"]["bool"].dtype == np.bool_
+    # Big ints (PCG64 carries 128-bit words) survive exactly.
+    assert back["rng_like"]["state"]["state"] == 2 ** 100 + 7
+    assert back["list"][3] is None
+    np.testing.assert_array_equal(back["list"][4]["deep"], np.ones((2, 3)))
+    assert back["tuple"] == (1, 2, "x")
+    assert back["scalars"] == state["scalars"]
+
+
+def test_save_state_rejects_unserializable(tmp_path):
+    with pytest.raises(TypeError):
+        save_state(tmp_path / "bad.npz", {"f": lambda: None})
+    with pytest.raises(TypeError):
+        save_state(tmp_path / "bad.npz", {1: "non-string key"})
+
+
+# ---------------------------------------------------------------------------
+# Preemption schedule
+
+
+def test_schedule_fires_each_point_once():
+    sched = PreemptionSchedule(at=[(1, 3)])
+    sched.check(0, 3, 0.0)  # wrong epoch: nothing
+    with pytest.raises(PreemptionError) as ei:
+        sched.check(1, 3, 2.5)
+    assert (ei.value.epoch, ei.value.batch) == (1, 3)
+    assert ei.value.at_s == pytest.approx(2.5)
+    sched.check(1, 3, 2.6)  # replay passes through
+    assert sched.fired == 1 and sched.pending == 0
+
+
+def test_schedule_time_trigger():
+    sched = PreemptionSchedule(at_times_s=[1.0])
+    sched.check(0, 0, 0.5)
+    with pytest.raises(PreemptionError):
+        sched.check(0, 3, 1.2)
+    sched.check(0, 4, 1.3)  # fired once, never again
+    assert sched.total == 1 and sched.fired == 1
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: exact recovery
+
+
+def test_exact_recovery_acceptance(build_run, tmp_path):
+    """Preempted twice mid-run; trajectory identical to uninterrupted."""
+    base, base_model, base_policy = build_run(Trainer, epochs=3)
+    r0 = base.run()
+
+    trainer, model, policy = build_run(
+        ResilientTrainer, epochs=3,
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every_batches=3,
+        preemptions=PreemptionSchedule(at=[(1, 2), (2, 4)]),
+    )
+    r1 = trainer.run()
+
+    assert trainer.recovery.restarts == 2
+    assert trainer.recovery.replayed_batches > 0
+    assert trainer.recovery.checkpoints_written > 0
+    # Parameter trajectory: bit-for-bit.
+    assert _params_equal(base_model, model)
+    # Importance-cache contents: same keys in the same order, same
+    # payloads, same heap eviction order next.
+    bi, pi = base_policy.cache.importance, policy.cache.importance
+    assert list(bi._values) == list(pi._values)
+    for k in bi._values:
+        np.testing.assert_array_equal(bi._values[k], pi._values[k])
+    assert bi.peek_min()[0] == pi.peek_min()[0]
+    # Homophily layer, score table, epoch metrics, and the clock too.
+    assert list(base_policy.cache.homophily._entries) == list(
+        policy.cache.homophily._entries
+    )
+    np.testing.assert_array_equal(
+        base_policy.score_table.scores, policy.score_table.scores
+    )
+    assert r0.epochs == r1.epochs
+    assert base.clock.state_dict() == trainer.clock.state_dict()
+
+
+def test_fresh_process_resume_is_exact(build_run, tmp_path):
+    """Kill the process (max_restarts=0), resume in a fresh trainer."""
+    base, base_model, _ = build_run(Trainer, epochs=3)
+    r0 = base.run()
+
+    first, _, _ = build_run(
+        ResilientTrainer, epochs=3,
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every_batches=4,
+        preemptions=PreemptionSchedule(at=[(1, 5)]),
+        max_restarts=0,
+    )
+    with pytest.raises(PreemptionError):
+        first.run()
+
+    second, model, _ = build_run(
+        ResilientTrainer, epochs=3,
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every_batches=4,
+        resume=True,
+    )
+    r2 = second.run()
+    assert _params_equal(base_model, model)
+    assert r0.epochs == r2.epochs
+    assert base.clock.state_dict() == second.clock.state_dict()
+
+
+def test_restart_penalty_charged_to_recovery_stage(build_run, tmp_path):
+    trainer, _, _ = build_run(
+        ResilientTrainer, epochs=2,
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every_batches=3,
+        preemptions=PreemptionSchedule(at=[(1, 1)]),
+        restart_penalty_s=7.5,
+    )
+    trainer.run()
+    assert trainer.recovery.restarts == 1
+    assert trainer.clock.stage_seconds("recovery") == pytest.approx(7.5)
+    # The penalty is recovery overhead, not pipeline time: epoch metrics
+    # must not absorb it.
+    assert trainer.recovery.lost_s >= 0.0
+
+
+def test_checkpoint_pruning_keeps_last_n(build_run, tmp_path):
+    trainer, _, _ = build_run(
+        ResilientTrainer, epochs=2,
+        checkpoint_dir=tmp_path / "ckpts",
+        checkpoint_every_batches=2,
+        keep_last=2,
+    )
+    trainer.run()
+    kept = trainer.checkpoints()
+    assert len(kept) == 2
+    assert trainer.recovery.checkpoints_written > 2
+
+
+def test_max_restarts_reraises(build_run, tmp_path):
+    trainer, _, _ = build_run(
+        ResilientTrainer, epochs=2,
+        checkpoint_dir=tmp_path / "ckpts",
+        preemptions=PreemptionSchedule(at=[(0, 1)]),
+        max_restarts=0,
+    )
+    with pytest.raises(PreemptionError):
+        trainer.run()

@@ -1,0 +1,73 @@
+"""Store-wrapper interface tests: full forwarding through arbitrary stacks."""
+
+import numpy as np
+import pytest
+
+from repro.storage.backends import RemoteStore
+from repro.storage.clock import SimClock
+from repro.storage.flaky import FlakyStore, RetryingStore
+from repro.storage.latency import ConstantLatency
+from repro.storage.wrappers import StoreWrapper
+
+
+def _store(n=50):
+    return RemoteStore(
+        np.arange(float(n))[:, None], item_nbytes=1024,
+        latency=ConstantLatency(base_s=1e-3), clock=SimClock(),
+    )
+
+
+def test_wrapper_forwards_core_interface():
+    base = _store()
+    w = StoreWrapper(base)
+    assert len(w) == len(base)
+    assert w.clock is base.clock
+    assert w.size_of(3) == base.size_of(3)
+    np.testing.assert_array_equal(w.get(7), base.peek(7))
+    np.testing.assert_array_equal(w.peek(7), base.peek(7))
+
+
+def test_counters_visible_through_stack():
+    base = _store()
+    flaky = FlakyStore(base, failure_prob=0.3, rng=0)
+    retry = RetryingStore(flaky, max_retries=8)
+    for i in range(10):
+        retry.get(i)
+    # Inner-wrapper counters surface through the outer wrapper.
+    assert retry.failures_injected == flaky.failures_injected > 0
+    assert retry.retries_used == flaky.failures_injected
+    # Base-store counters surface through both wrappers.
+    assert retry.fetch_count == base.fetch_count == 10
+    assert retry.bytes_fetched == base.bytes_fetched == 10 * 1024
+
+
+def test_reset_counters_cascades():
+    base = _store()
+    flaky = FlakyStore(base, failure_prob=0.5, rng=1)
+    retry = RetryingStore(flaky, max_retries=6)
+    for i in range(5):
+        retry.get(i)
+    retry.reset_counters()
+    assert retry.retries_used == 0
+    assert flaky.failures_injected == 0
+    assert base.fetch_count == 0
+    assert base.bytes_fetched == 0
+
+
+def test_unwrap_returns_base_store():
+    base = _store()
+    stacked = RetryingStore(FlakyStore(base, failure_prob=0.0), max_retries=2)
+    assert stacked.unwrap() is base
+
+
+def test_unknown_attribute_raises():
+    w = StoreWrapper(_store())
+    with pytest.raises(AttributeError):
+        w.no_such_attribute
+
+
+def test_size_of_forwards_and_len():
+    base = _store(17)
+    w = RetryingStore(FlakyStore(base, failure_prob=0.0), max_retries=2)
+    assert len(w) == 17
+    assert w.size_of(0) == base.size_of(0)

@@ -1,0 +1,96 @@
+"""Corrupt-checkpoint handling: clear errors instead of stack-trace soup."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.nn.models import build_model
+from repro.resilience.state import load_state, save_state
+from repro.train.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+
+
+@pytest.fixture
+def checkpoint(tmp_path):
+    model = build_model("resnet18", 16, 4, rng=0)
+    return save_checkpoint(tmp_path / "good.npz", model, epoch=2)
+
+
+def test_truncated_archive_raises_checkpoint_error(checkpoint, tmp_path):
+    blob = checkpoint.read_bytes()
+    bad = tmp_path / "truncated.npz"
+    bad.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(CheckpointError, match="truncated or corrupt"):
+        load_checkpoint(bad)
+
+
+def test_garbage_bytes_raise_checkpoint_error(tmp_path):
+    bad = tmp_path / "garbage.npz"
+    bad.write_bytes(b"this is definitely not a zip archive" * 10)
+    with pytest.raises(CheckpointError, match="truncated or corrupt"):
+        load_checkpoint(bad)
+
+
+def test_missing_header_raises_checkpoint_error(tmp_path):
+    bad = tmp_path / "headerless.npz"
+    np.savez(bad, some_array=np.arange(4))
+    with pytest.raises(CheckpointError, match="__header__"):
+        load_checkpoint(bad)
+
+
+def test_unreadable_header_raises_checkpoint_error(tmp_path):
+    bad = tmp_path / "badheader.npz"
+    np.savez(bad, __header__=np.frombuffer(b"\xff\xfenot json", dtype=np.uint8))
+    with pytest.raises(CheckpointError, match="JSON"):
+        load_checkpoint(bad)
+
+
+def test_future_format_version_raises_checkpoint_error(checkpoint, tmp_path):
+    data = dict(np.load(checkpoint))
+    header = json.loads(bytes(data["__header__"]).decode())
+    header["format_version"] = 999
+    data["__header__"] = np.frombuffer(
+        json.dumps(header).encode(), dtype=np.uint8
+    )
+    bad = tmp_path / "future.npz"
+    np.savez(bad, **data)
+    with pytest.raises(CheckpointError, match="newer"):
+        load_checkpoint(bad)
+
+
+def test_missing_file_still_raises_file_not_found(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(tmp_path / "nope.npz")
+
+
+def test_checkpoint_error_is_also_value_error(checkpoint):
+    # Pre-CheckpointError callers caught ValueError; keep that working.
+    assert issubclass(CheckpointError, ValueError)
+    assert issubclass(CheckpointError, RuntimeError)
+
+
+# ---------------------------------------------------------------------------
+# The resilience state serializer shares the same error contract.
+
+
+def test_state_archive_garbage_raises(tmp_path):
+    bad = tmp_path / "bad.npz"
+    bad.write_bytes(b"\x00\x01\x02 nothing useful here")
+    with pytest.raises(CheckpointError, match="truncated or corrupt"):
+        load_state(bad)
+
+
+def test_state_archive_missing_tree_raises(tmp_path):
+    bad = tmp_path / "noTree.npz"
+    np.savez(bad, a0=np.arange(3))
+    with pytest.raises(CheckpointError, match="__tree__"):
+        load_state(bad)
+
+
+def test_state_archive_truncated_raises(tmp_path):
+    path = save_state(tmp_path / "s.npz", {"x": np.arange(10), "y": 3})
+    blob = path.read_bytes()
+    bad = tmp_path / "strunc.npz"
+    bad.write_bytes(blob[: len(blob) // 3])
+    with pytest.raises(CheckpointError):
+        load_state(bad)
