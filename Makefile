@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-csv examples smoke faults all
+.PHONY: install test bench bench-csv examples smoke faults report all
+
+# Where `make report` writes (and reads back) its traced demo run.
+REPORT_DIR ?= results/traced-run
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +26,12 @@ examples:
 
 smoke:
 	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3
+
+# Traced demo run + rendered observability report.
+report:
+	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3 \
+		--trace-dir $(REPORT_DIR)
+	$(PYTHON) -m repro report $(REPORT_DIR)
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

@@ -17,13 +17,21 @@ __all__ = ["Cache", "CacheStats"]
 
 @dataclass
 class CacheStats:
-    """Counters for hit-ratio reporting."""
+    """Counters for hit-ratio reporting.
+
+    ``degraded_serves`` counts degraded-mode substitutions (remote tier
+    down, widened stand-in served). They are deliberately *excluded* from
+    ``requests``/``hit_ratio``: a degraded serve is an availability event,
+    not a cache hit, and folding it in would make outage-epoch hit ratios
+    incomparable to clean runs.
+    """
 
     hits: int = 0
     misses: int = 0
     substitute_hits: int = 0
     evictions: int = 0
     insertions: int = 0
+    degraded_serves: int = 0
 
     @property
     def requests(self) -> int:
@@ -52,6 +60,7 @@ class CacheStats:
         self.substitute_hits = 0
         self.evictions = 0
         self.insertions = 0
+        self.degraded_serves = 0
 
     def merge(self, other: "CacheStats") -> None:
         """Add another stats object's counters into this one."""
@@ -60,6 +69,7 @@ class CacheStats:
         self.substitute_hits += other.substitute_hits
         self.evictions += other.evictions
         self.insertions += other.insertions
+        self.degraded_serves += other.degraded_serves
 
     def state_dict(self) -> dict:
         """Serializable counter snapshot."""
@@ -69,15 +79,21 @@ class CacheStats:
             "substitute_hits": self.substitute_hits,
             "evictions": self.evictions,
             "insertions": self.insertions,
+            "degraded_serves": self.degraded_serves,
         }
 
     def load_state_dict(self, state: dict) -> None:
-        """Restore a :meth:`state_dict` snapshot."""
+        """Restore a :meth:`state_dict` snapshot.
+
+        Snapshots written before degraded serves got a dedicated counter
+        lack the key; they load as zero.
+        """
         self.hits = int(state["hits"])
         self.misses = int(state["misses"])
         self.substitute_hits = int(state["substitute_hits"])
         self.evictions = int(state["evictions"])
         self.insertions = int(state["insertions"])
+        self.degraded_serves = int(state.get("degraded_serves", 0))
 
 
 class Cache:

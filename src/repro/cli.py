@@ -8,11 +8,16 @@ Usage::
     python -m repro compare --policies spidercache shade baseline \\
         --epochs 8
     python -m repro trace --policy spidercache --epochs 6 --capacity 0.2
+    python -m repro train --policy spidercache --trace-dir runs/demo
+    python -m repro report runs/demo
 
-``train`` runs one policy and prints per-epoch metrics; ``compare`` runs
-several policies on the identical dataset/model and prints the Fig.-1
-triangle (hit ratio / accuracy / time); ``trace`` records the policy's
-access trace and reports LRU / MinIO / Belady-OPT hit ratios on it.
+``train`` runs one policy and prints per-epoch metrics (with
+``--trace-dir`` it also records a structured event trace and exports the
+run artifacts); ``compare`` runs several policies on the identical
+dataset/model and prints the Fig.-1 triangle (hit ratio / accuracy /
+time); ``trace`` records the policy's access trace and reports LRU /
+MinIO / Belady-OPT hit ratios on it; ``report`` renders the tables for
+an exported run directory.
 """
 
 from __future__ import annotations
@@ -75,7 +80,19 @@ def _build_parser() -> argparse.ArgumentParser:
     train_p = sub.add_parser("train", help="run one policy")
     train_p.add_argument("--policy", default="spidercache",
                          choices=sorted(POLICIES))
+    train_p.add_argument(
+        "--trace-dir", default=None,
+        help="record a structured trace and export run artifacts "
+             "(trace.jsonl, epochs.jsonl, summary.json) to this directory",
+    )
     add_common(train_p)
+
+    report_p = sub.add_parser(
+        "report", help="render the report for an exported run directory"
+    )
+    report_p.add_argument(
+        "run_dir", help="directory written by `repro train --trace-dir`"
+    )
 
     cmp_p = sub.add_parser("compare", help="run several policies")
     cmp_p.add_argument("--policies", nargs="+", default=
@@ -111,7 +128,7 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _make_run(args, policy_name: str):
+def _make_run(args, policy_name: str, observer=None):
     data = make_dataset(args.preset, rng=args.seed, n_samples=args.samples)
     train, test = train_test_split(data, test_fraction=0.25, rng=args.seed + 1)
     model = build_model(args.model, train.dim, train.num_classes,
@@ -120,6 +137,7 @@ def _make_run(args, policy_name: str):
     trainer = Trainer(
         model, train, test, policy,
         TrainerConfig(epochs=args.epochs, batch_size=args.batch_size),
+        observer=observer,
     )
     return trainer, policy, train
 
@@ -141,7 +159,21 @@ def _cmd_info(args) -> int:
 
 
 def _cmd_train(args) -> int:
-    trainer, policy, _ = _make_run(args, args.policy)
+    observer = None
+    recorder = None
+    registry = None
+    if args.trace_dir is not None:
+        from pathlib import Path
+
+        from repro.obs import JsonlRecorder, MetricsRegistry, Observer
+        from repro.obs.report import TRACE_FILE
+
+        out = Path(args.trace_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        recorder = JsonlRecorder(out / TRACE_FILE)
+        registry = MetricsRegistry()
+        observer = Observer(recorder=recorder, metrics=registry)
+    trainer, policy, _ = _make_run(args, args.policy, observer=observer)
     result = trainer.run()
     print(f"{'epoch':>5} {'acc':>7} {'hit':>6} {'subst':>6} {'time':>7}")
     for e in result.epochs:
@@ -151,6 +183,38 @@ def _cmd_train(args) -> int:
     print(f"\n{args.policy}: accuracy {s['final_accuracy']:.3f}, "
           f"mean hit {s['mean_hit_ratio']:.3f}, "
           f"simulated time {s['total_time_s']:.1f}s")
+    if observer is not None:
+        from repro.obs import write_run_artifacts
+
+        recorder.close()
+        write_run_artifacts(
+            result,
+            args.trace_dir,
+            metrics_snapshot=registry.snapshot(),
+            meta={
+                "policy": args.policy,
+                "preset": args.preset,
+                "model": args.model,
+                "seed": args.seed,
+                "samples": args.samples,
+                "epochs": args.epochs,
+                "batch_size": args.batch_size,
+                "cache_fraction": args.cache_fraction,
+            },
+        )
+        print(f"run artifacts written to {args.trace_dir}/ "
+              f"(view with `repro report {args.trace_dir}`)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import render_report
+
+    try:
+        print(render_report(args.run_dir))
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     return 0
 
 
@@ -247,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "faults": _cmd_faults,
+        "report": _cmd_report,
     }[args.command](args)
 
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.analysis.savgol import savgol_smooth
 from repro.analysis.trends import mean_growth_rate, slope
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 __all__ = [
     "ImportanceMonitor",
@@ -83,6 +84,16 @@ class AccuracyMonitor:
             raise ValueError("m must be >= 1")
         if gamma <= 0:
             raise ValueError("gamma must be positive")
+        # Validate the filter configuration up front: an even window (or a
+        # polyorder >= window) used to slip through construction and only
+        # blow up inside savgol_coefficients at the first growth_rate()
+        # call — epoch m+1, mid-training.
+        if savgol_window % 2 == 0 or savgol_window < 1:
+            raise ValueError("savgol_window must be a positive odd integer")
+        if savgol_polyorder < 0:
+            raise ValueError("savgol_polyorder must be non-negative")
+        if savgol_polyorder >= savgol_window:
+            raise ValueError("savgol_polyorder must be less than savgol_window")
         self.m = m
         self.gamma = gamma
         self.savgol_window = savgol_window
@@ -174,6 +185,11 @@ class ElasticCacheManager:
         # Annealing time starts when beta activates, not at epoch 0: Eq. 8's
         # t/T measures progress through the *adjustment* phase.
         self._t0: Optional[int] = None
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish each :class:`ElasticDecision` to ``observer``."""
+        self._obs = observer
 
     def step(self, epoch: int, score_std: float, accuracy: float) -> float:
         """Observe one epoch and return the new imp-ratio.
@@ -192,6 +208,8 @@ class ElasticCacheManager:
         if self.history:
             ratio = min(ratio, self.history[-1].imp_ratio)
         self.history.append(ElasticDecision(epoch, beta, u, ratio))
+        if self._obs.active:
+            self._obs.on_elastic(epoch, beta, u, ratio)
         return ratio
 
     @property

@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.cache.base import CacheStats
+from repro.obs.observer import NULL_OBSERVER, Observer
 
 __all__ = ["HomophilyCache"]
 
@@ -35,6 +36,11 @@ class HomophilyCache:
         # neighbor id -> set of cached node keys listing it.
         self._neighbor_of: Dict[int, Set[int]] = {}
         self.stats = CacheStats()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish insert/evict activity to ``observer``."""
+        self._obs = observer
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -83,15 +89,17 @@ class HomophilyCache:
         if key in self._entries:
             return False
         while len(self._entries) >= self.capacity:
-            self._evict_oldest()
+            self._evict_oldest("fifo")
         neigh = tuple(int(n) for n in neighbor_ids)
         self._entries[key] = (payload, neigh)
         for n in neigh:
             self._neighbor_of.setdefault(n, set()).add(key)
         self.stats.insertions += 1
+        if self._obs.active:
+            self._obs.on_homophily_insert(key, len(neigh))
         return True
 
-    def _evict_oldest(self) -> int:
+    def _evict_oldest(self, reason: str = "fifo") -> int:
         key, (_, neigh) = self._entries.popitem(last=False)
         for n in neigh:
             owners = self._neighbor_of.get(n)
@@ -100,6 +108,8 @@ class HomophilyCache:
                 if not owners:
                     del self._neighbor_of[n]
         self.stats.evictions += 1
+        if self._obs.active:
+            self._obs.on_evict("homophily", key, reason)
         return key
 
     def shrink_to(self, capacity: int) -> List[int]:
@@ -108,7 +118,7 @@ class HomophilyCache:
             raise ValueError("capacity must be non-negative")
         evicted = []
         while len(self._entries) > capacity:
-            evicted.append(self._evict_oldest())
+            evicted.append(self._evict_oldest("shrink"))
         self.capacity = capacity
         return evicted
 

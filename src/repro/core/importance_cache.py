@@ -14,6 +14,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.cache.base import CacheStats
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.utils.heap import IndexedMinHeap
 
 __all__ = ["ImportanceCache"]
@@ -29,6 +30,11 @@ class ImportanceCache:
         self._heap = IndexedMinHeap()
         self._values: Dict[int, Any] = {}
         self.stats = CacheStats()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish admission/rejection/eviction activity to ``observer``."""
+        self._obs = observer
 
     def __len__(self) -> int:
         return len(self._values)
@@ -57,6 +63,7 @@ class ImportanceCache:
         Returns True if the sample was cached (possibly evicting the current
         minimum), False if rejected for scoring below the minimum.
         """
+        obs = self._obs
         if self.capacity == 0:
             return False
         if key in self._values:
@@ -68,8 +75,12 @@ class ImportanceCache:
             self._heap.push(key, score)
             self._values[key] = value
             self.stats.insertions += 1
+            if obs.active:
+                obs.on_admit(key, score, True, None)
             return True
         if score <= self._heap.min_priority():
+            if obs.active:
+                obs.on_admit(key, score, False, None)
             return False
         _, evicted = self._heap.pop()
         del self._values[evicted]
@@ -77,6 +88,8 @@ class ImportanceCache:
         self._heap.push(key, score)
         self._values[key] = value
         self.stats.insertions += 1
+        if obs.active:
+            obs.on_admit(key, score, True, evicted)
         return True
 
     def update_score(self, key: int, score: float) -> None:
@@ -96,11 +109,14 @@ class ImportanceCache:
         """
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
+        obs = self._obs
         evicted = []
         while len(self._values) > capacity:
             _, key = self._heap.pop()
             del self._values[key]
             self.stats.evictions += 1
+            if obs.active:
+                obs.on_evict("importance", key, "shrink")
             evicted.append(key)
         self.capacity = capacity
         return evicted

@@ -184,6 +184,15 @@ class SpiderCachePolicy(TrainingPolicy):
             n, weight_fn=self._mixed_weights, rng=self._rng
         )
 
+    def attach_observer(self, observer) -> None:
+        """Cascade the run observer into the cache layers and the elastic
+        manager (call after ``setup``)."""
+        super().attach_observer(observer)
+        if self.cache is not None:
+            self.cache.attach_observer(observer)
+        if self.manager is not None:
+            self.manager.attach_observer(observer)
+
     def _mixed_weights(self) -> np.ndarray:
         assert self.score_table is not None
         # Relative floor bounds the oversampling ratio: no sample is drawn
@@ -191,7 +200,13 @@ class SpiderCachePolicy(TrainingPolicy):
         # same variance-control role as SHADE's rank floor.
         scores = np.asarray(self.score_table.scores, dtype=np.float64)
         floored = np.maximum(scores, self.score_floor * scores.max())
-        w = floored / floored.sum()
+        total = floored.sum()
+        if not np.isfinite(total) or total <= 0:
+            # Every score is zero (possible with score_floor=0 after a
+            # degenerate update): dividing would yield NaN weights and
+            # poison the multinomial draw. Fall back to uniform.
+            return np.full(scores.shape[0], 1.0 / scores.shape[0])
+        w = floored / total
         return self.uniform_mix / w.shape[0] + (1.0 - self.uniform_mix) * w
 
     # ------------------------------------------------------------------
@@ -225,7 +240,10 @@ class SpiderCachePolicy(TrainingPolicy):
                 # whatever is already resident.
                 self.cache.degraded.errors_absorbed += 1
                 break
-            if imp.admit(idx, payload, score):
+            admitted = imp.admit(idx, payload, score)
+            if self._obs.active:
+                self._obs.on_prefetch(idx, admitted)
+            if admitted:
                 fetched += 1
                 self.prefetch_count += 1
             else:

@@ -18,13 +18,27 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from math import floor
 from typing import Any, Callable, List, Optional, Tuple, Type
 
 from repro.cache.base import CacheStats
 from repro.core.homophily_cache import HomophilyCache
 from repro.core.importance_cache import ImportanceCache
+from repro.obs.observer import NULL_OBSERVER, Observer
 
-__all__ = ["SemanticCache", "FetchSource", "FetchOutcome", "DegradedStats"]
+__all__ = ["SemanticCache", "FetchSource", "FetchOutcome", "DegradedStats", "split_capacity"]
+
+
+def split_capacity(total: int, ratio: float) -> int:
+    """Importance-layer share of ``total`` at ``ratio``.
+
+    Uses ``floor(total * ratio + 0.5)`` — round-half-up — rather than
+    ``round()``: banker's rounding makes the split non-monotone in the
+    ratio at .5 boundaries (``round(10 * 0.85) == 8`` but
+    ``round(10 * 0.75) == 8`` too), which turned elastic annealing sweeps
+    into a sawtooth. Half-up is deterministic and monotone.
+    """
+    return int(floor(total * ratio + 0.5))
 
 
 class FetchSource(str, Enum):
@@ -115,7 +129,7 @@ class SemanticCache:
             raise ValueError("imp_ratio must be in [0, 1]")
         self.total_capacity = int(total_capacity)
         self._imp_ratio = float(imp_ratio)
-        imp_cap = round(self.total_capacity * imp_ratio)
+        imp_cap = split_capacity(self.total_capacity, imp_ratio)
         self.importance = ImportanceCache(imp_cap)
         self.homophily = HomophilyCache(self.total_capacity - imp_cap)
         self.stats = CacheStats()  # aggregate over both layers
@@ -124,6 +138,17 @@ class SemanticCache:
         # default — plain runs keep strict fail-on-error semantics.
         self.degrade_on: Tuple[Type[BaseException], ...] = ()
         self.degraded = DegradedStats()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish fetch/admission/eviction activity to ``observer``.
+
+        Cascades to both layers. Observer wiring is runtime-only state —
+        it is never part of :meth:`state_dict`.
+        """
+        self._obs = observer
+        self.importance.attach_observer(observer)
+        self.homophily.attach_observer(observer)
 
     # ------------------------------------------------------------------
     @property
@@ -139,7 +164,7 @@ class SemanticCache:
         if not 0.0 <= ratio <= 1.0:
             raise ValueError("imp_ratio must be in [0, 1]")
         self._imp_ratio = float(ratio)
-        imp_cap = round(self.total_capacity * ratio)
+        imp_cap = split_capacity(self.total_capacity, ratio)
         hom_cap = self.total_capacity - imp_cap
         if imp_cap < self.importance.capacity:
             self.importance.shrink_to(imp_cap)
@@ -161,9 +186,12 @@ class SemanticCache:
         for the admission decision on a full miss. ``remote_get`` is invoked
         only on a miss in both layers.
         """
+        obs = self._obs
         payload = self.importance.get(index)
         if payload is not None:
             self.stats.hits += 1
+            if obs.active:
+                obs.on_fetch(index, index, FetchSource.IMPORTANCE)
             return FetchOutcome(index, index, payload, FetchSource.IMPORTANCE)
 
         sub = self.homophily.lookup(index)
@@ -173,6 +201,8 @@ class SemanticCache:
                 self.stats.hits += 1
             else:
                 self.stats.substitute_hits += 1
+            if obs.active:
+                obs.on_fetch(index, node_key, FetchSource.HOMOPHILY)
             return FetchOutcome(index, node_key, node_payload, FetchSource.HOMOPHILY)
 
         try:
@@ -181,6 +211,8 @@ class SemanticCache:
             self.degraded.errors_absorbed += 1
             return self._degraded_fetch(index)
         self.stats.misses += 1
+        if obs.active:
+            obs.on_fetch(index, index, FetchSource.REMOTE)
         self.importance.admit(index, payload, score)
         return FetchOutcome(index, index, payload, FetchSource.REMOTE)
 
@@ -214,21 +246,37 @@ class SemanticCache:
         failing that, the least-important Importance-Cache resident. Only
         when both layers are empty is the sample skipped — the loader drops
         it from the batch rather than aborting training.
+
+        Accounting: degraded serves go to :class:`DegradedStats` and the
+        dedicated ``stats.degraded_serves`` counter only. They do *not*
+        count as ``substitute_hits`` — folding them in silently inflated
+        ``hit_ratio``/``exact_hit_ratio`` during outages, making
+        fault-campaign hit ratios incomparable to clean runs.
         """
+        obs = self._obs
         node = self.homophily.newest_entry()
         if node is not None:
             key, payload = node
-            self.stats.substitute_hits += 1
+            self.stats.degraded_serves += 1
             self.degraded.substituted_homophily += 1
+            if obs.active:
+                obs.on_degraded(index, key)
+                obs.on_fetch(index, key, FetchSource.DEGRADED)
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         resident = self.importance.peek_min()
         if resident is not None:
             key, payload = resident
-            self.stats.substitute_hits += 1
+            self.stats.degraded_serves += 1
             self.degraded.substituted_importance += 1
+            if obs.active:
+                obs.on_degraded(index, key)
+                obs.on_fetch(index, key, FetchSource.DEGRADED)
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         self.stats.misses += 1
         self.degraded.skipped += 1
+        if obs.active:
+            obs.on_degraded(index, None)
+            obs.on_fetch(index, index, FetchSource.SKIPPED)
         return FetchOutcome(index, index, None, FetchSource.SKIPPED)
 
     def update_homophily(

@@ -1,0 +1,52 @@
+"""Run-wide observability: tracing, metrics, and reporting (``repro.obs``).
+
+Zero-overhead-when-disabled instrumentation for the whole stack. An
+:class:`~repro.obs.observer.Observer` binds a trace recorder (null /
+in-memory / JSONL) to a metrics registry; the trainer threads it through
+the semantic cache, both cache layers, the remote store, the elastic
+manager, the circuit breaker, and the checkpoint machinery. The
+:mod:`~repro.obs.report` layer aggregates exported traces back into the
+per-epoch numbers the trainer reported — the consistency check behind
+``repro report``.
+"""
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.obs.report import (
+    EpochAggregate,
+    aggregate_trace,
+    render_report,
+    write_run_artifacts,
+)
+from repro.obs.trace import (
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    TraceRecorder,
+    read_jsonl,
+)
+
+__all__ = [
+    "Observer",
+    "NULL_OBSERVER",
+    "TraceRecorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "read_jsonl",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "EpochAggregate",
+    "aggregate_trace",
+    "write_run_artifacts",
+    "render_report",
+]

@@ -1,0 +1,163 @@
+"""Lightweight metrics registry: counters, gauges, fixed-bucket histograms.
+
+The Prometheus-shaped trio, sized for a simulation harness: no labels, no
+locks, no background export — just named instruments a component publishes
+into and a :meth:`MetricsRegistry.snapshot` that serializes everything for
+``summary.json`` / ``repro report``. Instruments are get-or-create by
+name, so publishers and readers never need to coordinate registration
+order.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+]
+
+#: Default histogram buckets for simulated I/O latencies (seconds):
+#: 20 us (in-memory hit) up through multi-second degraded fetches.
+LATENCY_BUCKETS_S = (
+    20e-6, 50e-6, 100e-6, 500e-6,
+    1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
+    1.0, 5.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be non-negative) to the count."""
+        if n < 0:
+            raise ValueError("counters only go up")
+        self.value += n
+
+
+class Gauge:
+    """Last-written value (e.g. the current elastic imp-ratio)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-style bucket counts.
+
+    ``bounds`` are the inclusive upper edges of each bucket; observations
+    above the last bound land in the implicit overflow bucket. Tracks
+    ``count``/``total`` so means are recoverable without the raw stream.
+    """
+
+    def __init__(self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_S) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be non-empty and sorted")
+        self.name = name
+        self.bounds: List[float] = [float(b) for b in bounds]
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # +overflow
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile from the bucket counts.
+
+        Returns the upper bound of the bucket containing the quantile
+        rank (the overflow bucket reports the largest finite bound).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank:
+                return self.bounds[min(i, len(self.bounds) - 1)]
+        return self.bounds[-1]
+
+
+class MetricsRegistry:
+    """Name-keyed collection of instruments with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name``, created on first use."""
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name``, created on first use."""
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS_S
+    ) -> Histogram:
+        """The histogram named ``name``, created on first use.
+
+        ``bounds`` only applies at creation; later calls return the
+        existing instrument regardless.
+        """
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, bounds)
+        return h
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serializable dump of every instrument's current state."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "bounds": h.bounds,
+                    "counts": h.counts,
+                    "count": h.count,
+                    "total": h.total,
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh registry)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

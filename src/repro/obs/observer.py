@@ -1,0 +1,253 @@
+"""The Observer: one object binding a trace recorder and a metrics registry.
+
+Instrumented components (:class:`~repro.core.semantic_cache.SemanticCache`,
+the cache layers, :class:`~repro.storage.backends.RemoteStore`, the elastic
+manager, the circuit breaker, both trainers) hold an ``Observer`` reference
+— :data:`NULL_OBSERVER` by default — and guard every hook call with
+``if obs.active:``. The null observer's ``active`` is False, so an
+un-instrumented run pays one attribute read per operation and nothing
+else; no events are built, no metrics are touched.
+
+A live observer does two things per hook:
+
+* increments/updates the relevant :class:`~repro.obs.metrics.MetricsRegistry`
+  instruments (always, when active);
+* emits a structured trace event (only when its recorder is enabled).
+
+The observer also carries the little cross-component context the event
+schema needs: the trainer's current epoch, the configured cache-hit
+latency, and the simulated latency of the most recent remote store fetch
+(consumed by the enclosing cache-fetch event).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NullRecorder, TraceRecorder
+
+__all__ = ["Observer", "NULL_OBSERVER"]
+
+
+class Observer:
+    """Bundles a :class:`TraceRecorder` and a :class:`MetricsRegistry`.
+
+    Parameters
+    ----------
+    recorder:
+        Trace sink; defaults to a :class:`NullRecorder` (metrics-only
+        observation).
+    metrics:
+        Registry to publish into; defaults to a fresh one.
+    active:
+        Master switch. ``False`` builds the shared null observer —
+        instrumented sites check this before calling any hook.
+    """
+
+    def __init__(
+        self,
+        recorder: Optional[TraceRecorder] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        active: bool = True,
+    ) -> None:
+        self.recorder = recorder if recorder is not None else NullRecorder()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.active = bool(active)
+        self.epoch = -1  # current trainer epoch; -1 outside a run
+        self.hit_latency_s = 0.0  # set by the trainer from its config
+        self._pending_store_latency_s = 0.0
+
+    # ------------------------------------------------------------------
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Emit one trace event stamped with the current epoch."""
+        if self.recorder.enabled:
+            event: Dict[str, Any] = {"kind": kind, "epoch": self.epoch}
+            event.update(fields)
+            self.recorder.emit(event)
+
+    def set_epoch(self, epoch: int) -> None:
+        """Advance the epoch stamp applied to subsequent events."""
+        self.epoch = int(epoch)
+
+    def close(self) -> None:
+        """Close the underlying recorder (flushes JSONL sinks)."""
+        self.recorder.close()
+
+    # -- store ----------------------------------------------------------
+    def on_store_fetch(self, index: int, nbytes: int, latency_s: float) -> None:
+        """A remote-store fetch completed (real simulated I/O).
+
+        The latency accumulates until the enclosing cache fetch (or
+        prefetch) consumes it, so retry stacks charging multiple inner
+        fetches per logical request aggregate correctly.
+        """
+        m = self.metrics
+        m.counter("store.fetches").inc()
+        m.counter("store.bytes_fetched").inc(nbytes)
+        m.histogram("store.fetch_latency_s").observe(latency_s)
+        self._pending_store_latency_s += latency_s
+
+    def take_store_latency(self) -> float:
+        """Consume (and zero) the accumulated remote-fetch latency."""
+        lat = self._pending_store_latency_s
+        self._pending_store_latency_s = 0.0
+        return lat
+
+    # -- cache hierarchy -------------------------------------------------
+    def on_fetch(self, requested_id: int, served_id: int, source: Any) -> None:
+        """One request went through ``SemanticCache.fetch``.
+
+        ``source`` is a :class:`~repro.core.semantic_cache.FetchSource`;
+        remote fetches attach the store latency accumulated since the
+        last consume, cache serves attach the configured hit latency.
+        """
+        src = getattr(source, "value", str(source))
+        if src == "remote":
+            latency_s = self.take_store_latency()
+        elif src == "skipped":
+            latency_s = 0.0
+        else:
+            latency_s = self.hit_latency_s
+        m = self.metrics
+        m.counter("cache.fetches").inc()
+        m.counter(f"cache.fetch.{src}").inc()
+        m.histogram("cache.fetch_latency_s").observe(latency_s)
+        self.emit(
+            "fetch",
+            requested_id=int(requested_id),
+            served_id=int(served_id),
+            source=src,
+            latency_s=latency_s,
+        )
+
+    def on_prefetch(self, index: int, admitted: bool) -> None:
+        """An importance-driven prefetch fetched (and possibly admitted)."""
+        latency_s = self.take_store_latency()
+        self.metrics.counter("cache.prefetches").inc()
+        self.emit(
+            "prefetch", index=int(index), admitted=bool(admitted),
+            latency_s=latency_s,
+        )
+
+    def on_admit(
+        self,
+        key: int,
+        score: float,
+        admitted: bool,
+        evicted_key: Optional[int],
+    ) -> None:
+        """The Importance Cache decided on a freshly fetched sample."""
+        m = self.metrics
+        m.counter("importance.admitted" if admitted else "importance.rejected").inc()
+        if evicted_key is not None:
+            m.counter("importance.evictions").inc()
+        self.emit(
+            "importance_admit",
+            key=int(key),
+            score=float(score),
+            admitted=bool(admitted),
+            evicted_key=None if evicted_key is None else int(evicted_key),
+        )
+
+    def on_evict(self, layer: str, key: int, reason: str) -> None:
+        """A cache layer evicted a resident outside the admit path
+        (FIFO turnover, elastic shrink)."""
+        self.metrics.counter(f"{layer}.evictions").inc()
+        self.emit("evict", layer=layer, key=int(key), reason=reason)
+
+    def on_homophily_insert(self, key: int, n_neighbors: int) -> None:
+        """The Homophily Cache inserted a batch's top-degree node."""
+        self.metrics.counter("homophily.insertions").inc()
+        self.emit(
+            "homophily_insert", key=int(key), n_neighbors=int(n_neighbors)
+        )
+
+    def on_degraded(self, requested_id: int, served_id: Optional[int]) -> None:
+        """Degraded mode served a widened substitute (or skipped)."""
+        m = self.metrics
+        if served_id is None:
+            m.counter("degraded.skipped").inc()
+        else:
+            m.counter("degraded.substituted").inc()
+
+    # -- elastic manager -------------------------------------------------
+    def on_elastic(self, epoch: int, beta: int, u: float, imp_ratio: float) -> None:
+        """The Elastic Cache Manager produced one epoch's decision."""
+        m = self.metrics
+        m.gauge("elastic.beta").set(beta)
+        m.gauge("elastic.u").set(u)
+        m.gauge("elastic.imp_ratio").set(imp_ratio)
+        self.emit(
+            "elastic", decision_epoch=int(epoch), beta=int(beta),
+            u=float(u), imp_ratio=float(imp_ratio),
+        )
+
+    # -- resilience ------------------------------------------------------
+    def on_breaker(self, old: str, new: str, at_s: float) -> None:
+        """The circuit breaker changed state."""
+        m = self.metrics
+        m.counter("breaker.transitions").inc()
+        if new == "open":
+            m.counter("breaker.opens").inc()
+        self.emit("breaker", old=old, new=new, at_s=float(at_s))
+
+    def on_checkpoint(self, path: str, epoch: int, batch: int) -> None:
+        """A checkpoint archive was written."""
+        self.metrics.counter("checkpoint.written").inc()
+        self.emit("checkpoint", path=path, at_epoch=int(epoch), batch=int(batch))
+
+    def on_restore(self, path: str, epoch: int, batch: int) -> None:
+        """Training state was restored from a checkpoint archive.
+
+        Fetch/batch events between this event and the preceding
+        checkpoint event are replays — aggregators counting a faulted
+        run's trace must deduplicate on (epoch, batch) or treat the
+        journal as history, not tally.
+        """
+        self.metrics.counter("checkpoint.restored").inc()
+        self.emit("restore", path=path, at_epoch=int(epoch), batch=int(batch))
+
+    # -- trainer ---------------------------------------------------------
+    def on_run_start(self, meta: Dict[str, Any]) -> None:
+        """A training run began; ``meta`` records its configuration."""
+        self.emit("run_start", **meta)
+
+    def on_batch(
+        self,
+        slot: int,
+        size: int,
+        trained_fraction: float,
+        compute_s: float,
+        preprocess_s: float,
+        is_visible_s: float,
+    ) -> None:
+        """One (non-empty) batch finished training."""
+        m = self.metrics
+        m.counter("train.batches").inc()
+        m.counter("train.samples").inc(size)
+        self.emit(
+            "batch",
+            slot=int(slot),
+            size=int(size),
+            trained_fraction=float(trained_fraction),
+            compute_s=float(compute_s),
+            preprocess_s=float(preprocess_s),
+            is_visible_s=float(is_visible_s),
+        )
+
+    def on_epoch_metrics(self, metrics: Dict[str, Any]) -> None:
+        """An epoch completed; ``metrics`` is the EpochMetrics as a dict."""
+        m = self.metrics
+        m.histogram(
+            "train.epoch_time_s", bounds=(0.1, 1.0, 10.0, 60.0, 600.0, 3600.0)
+        ).observe(float(metrics.get("epoch_time_s", 0.0)))
+        for key in ("val_accuracy", "hit_ratio", "train_loss"):
+            if metrics.get(key) is not None:
+                m.gauge(f"train.{key}").set(float(metrics[key]))
+        self.emit("epoch", **metrics)
+
+
+#: Shared inert observer; ``active`` is False so instrumented sites skip
+#: every hook. Components default to this — never mutate it.
+NULL_OBSERVER = Observer(active=False)

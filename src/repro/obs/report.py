@@ -1,0 +1,360 @@
+"""Run reporting: trace aggregation, artifact export, table rendering.
+
+Three layers:
+
+* :func:`aggregate_trace` folds a trace's ``fetch``/``prefetch``/``batch``
+  events into per-epoch totals that reproduce the trainer's
+  :class:`~repro.train.metrics.EpochMetrics` numbers exactly (hit ratios
+  from fetch sources; stage times from per-batch costs plus the run's
+  ``io_workers``/``hit_latency_s`` recorded in the ``run_start`` event);
+* :func:`write_run_artifacts` exports a finished run as ``epochs.jsonl``
+  (one JSON object per epoch) and ``summary.json`` (run summary + metrics
+  registry snapshot + provenance metadata) next to the optional
+  ``trace.jsonl``;
+* :func:`render_report` reads those artifacts back and renders the
+  hit-rate / substitution / stage-time / elastic-ratio tables the
+  ``repro report`` CLI prints — including a trace-vs-metrics consistency
+  check when a trace is present.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.trace import read_jsonl
+from repro.train.metrics import TrainResult
+
+__all__ = [
+    "EpochAggregate",
+    "aggregate_trace",
+    "write_run_artifacts",
+    "render_report",
+    "TRACE_FILE",
+    "EPOCHS_FILE",
+    "SUMMARY_FILE",
+]
+
+TRACE_FILE = "trace.jsonl"
+EPOCHS_FILE = "epochs.jsonl"
+SUMMARY_FILE = "summary.json"
+
+
+@dataclass
+class EpochAggregate:
+    """Per-epoch totals reconstructed from a trace.
+
+    Mirrors the accounting in ``Trainer._run_epoch``: degraded serves are
+    tracked separately and excluded from ``requests``/``hit_ratio`` (they
+    are availability events, not cache performance).
+    """
+
+    epoch: int
+    exact_hits: int = 0
+    substitute_hits: int = 0
+    misses: int = 0
+    degraded_serves: int = 0
+    skipped: int = 0
+    prefetches: int = 0
+    n_batches: int = 0
+    n_samples: int = 0
+    remote_latency_s: float = 0.0
+    hit_serves: int = 0  # serves charged the in-memory hit latency
+    compute_s: float = 0.0
+    preprocess_s: float = 0.0
+    is_visible_s: float = 0.0
+    data_load_s: float = 0.0  # derived; needs io_workers + hit latency
+
+    @property
+    def requests(self) -> int:
+        """Cache requests entering the hit-ratio denominator."""
+        return self.exact_hits + self.substitute_hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Total hit ratio including substitutions (degraded excluded)."""
+        req = self.requests
+        return (self.exact_hits + self.substitute_hits) / req if req else 0.0
+
+    @property
+    def exact_hit_ratio(self) -> float:
+        """Exact-hit fraction of requests."""
+        req = self.requests
+        return self.exact_hits / req if req else 0.0
+
+    @property
+    def substitute_ratio(self) -> float:
+        """Substitution fraction of requests."""
+        req = self.requests
+        return self.substitute_hits / req if req else 0.0
+
+    @property
+    def epoch_time_s(self) -> float:
+        """Fig.-2 stage sum (matches ``EpochMetrics.epoch_time_s``)."""
+        return self.data_load_s + self.compute_s + self.is_visible_s + self.preprocess_s
+
+
+def aggregate_trace(
+    events: Union[str, Path, Iterable[Dict[str, Any]]],
+    io_workers: Optional[int] = None,
+    hit_latency_s: Optional[float] = None,
+) -> List[EpochAggregate]:
+    """Fold trace events into per-epoch aggregates, ordered by epoch.
+
+    ``io_workers``/``hit_latency_s`` default to the values in the trace's
+    ``run_start`` event (and to ``1``/``0.0`` if neither source has
+    them). Traces containing ``restore`` events re-count replayed batches
+    — aggregate clean runs, or dedupe first.
+    """
+    if isinstance(events, (str, Path)):
+        events = read_jsonl(events)
+    per_epoch: Dict[int, EpochAggregate] = {}
+
+    def agg(epoch: int) -> EpochAggregate:
+        a = per_epoch.get(epoch)
+        if a is None:
+            a = per_epoch[epoch] = EpochAggregate(epoch=epoch)
+        return a
+
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "run_start":
+            if io_workers is None and "io_workers" in ev:
+                io_workers = int(ev["io_workers"])
+            if hit_latency_s is None and "hit_latency_s" in ev:
+                hit_latency_s = float(ev["hit_latency_s"])
+            continue
+        a = agg(int(ev.get("epoch", -1)))
+        if kind == "fetch":
+            src = ev["source"]
+            if src == "importance":
+                a.exact_hits += 1
+                a.hit_serves += 1
+            elif src == "homophily":
+                if ev["served_id"] == ev["requested_id"]:
+                    a.exact_hits += 1
+                else:
+                    a.substitute_hits += 1
+                a.hit_serves += 1
+            elif src == "remote":
+                a.misses += 1
+                a.remote_latency_s += float(ev.get("latency_s", 0.0))
+            elif src == "degraded":
+                a.degraded_serves += 1
+                a.hit_serves += 1
+            elif src == "skipped":
+                a.misses += 1
+                a.skipped += 1
+        elif kind == "prefetch":
+            a.prefetches += 1
+            a.remote_latency_s += float(ev.get("latency_s", 0.0))
+        elif kind == "batch":
+            a.n_batches += 1
+            a.n_samples += int(ev.get("size", 0))
+            a.compute_s += float(ev.get("compute_s", 0.0))
+            a.preprocess_s += float(ev.get("preprocess_s", 0.0))
+            a.is_visible_s += float(ev.get("is_visible_s", 0.0))
+
+    workers = io_workers if io_workers else 1
+    hit_lat = hit_latency_s if hit_latency_s is not None else 0.0
+    out = [per_epoch[e] for e in sorted(per_epoch) if e >= 0]
+    for a in out:
+        a.data_load_s = a.remote_latency_s / workers + a.hit_serves * hit_lat
+    return out
+
+
+# ----------------------------------------------------------------------
+def write_run_artifacts(
+    result: TrainResult,
+    out_dir: Union[str, Path],
+    metrics_snapshot: Optional[Dict[str, Any]] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Path:
+    """Export a run as ``epochs.jsonl`` + ``summary.json`` under ``out_dir``.
+
+    Returns the output directory. ``metrics_snapshot`` is a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; ``meta`` holds
+    provenance (seed, argv, preset) for the reproducibility report.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    run_info = {
+        "policy": result.policy_name,
+        "model": result.model_name,
+        "dataset": result.dataset_name,
+    }
+    with (out / EPOCHS_FILE).open("w") as fh:
+        for e in result.epochs:
+            row = dict(run_info)
+            row.update(dataclasses.asdict(e))
+            json.dump(row, fh, separators=(",", ":"))
+            fh.write("\n")
+    summary = dict(run_info)
+    summary["summary"] = result.summary() if result.epochs else {}
+    if metrics_snapshot is not None:
+        summary["metrics"] = metrics_snapshot
+    if meta is not None:
+        summary["meta"] = meta
+    (out / SUMMARY_FILE).write_text(json.dumps(summary, indent=2, sort_keys=True))
+    return out
+
+
+# ----------------------------------------------------------------------
+def _fmt(value: Any, spec: str) -> str:
+    """Format one table cell, mapping ``None`` to a dash."""
+    if value is None:
+        return "-"
+    return format(value, spec)
+
+
+def _epoch_rows(epochs: List[Dict[str, Any]]) -> List[str]:
+    """Render the per-epoch hit-rate / stage-time table."""
+    header = (
+        f"{'epoch':>5} {'acc':>7} {'hit':>6} {'exact':>6} {'subst':>6} "
+        f"{'load_s':>8} {'comp_s':>8} {'is_s':>7} {'prep_s':>7} "
+        f"{'time_s':>8} {'imp_r':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for e in epochs:
+        lines.append(
+            f"{e['epoch']:>5} {_fmt(e.get('val_accuracy'), '.3f'):>7} "
+            f"{_fmt(e.get('hit_ratio'), '.3f'):>6} "
+            f"{_fmt(e.get('exact_hit_ratio'), '.3f'):>6} "
+            f"{_fmt(e.get('substitute_ratio'), '.3f'):>6} "
+            f"{_fmt(e.get('data_load_s'), '.3f'):>8} "
+            f"{_fmt(e.get('compute_s'), '.3f'):>8} "
+            f"{_fmt(e.get('is_visible_s'), '.3f'):>7} "
+            f"{_fmt(e.get('preprocess_s', 0.0), '.3f'):>7} "
+            f"{_fmt(e.get('epoch_time_s'), '.3f'):>8} "
+            f"{_fmt(e.get('imp_ratio'), '.3f'):>6}"
+        )
+    return lines
+
+
+def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
+    """Render trace-derived tables plus the consistency check."""
+    events = read_jsonl(trace_path)
+    lines: List[str] = []
+    by_kind: Dict[str, int] = {}
+    for ev in events:
+        by_kind[ev.get("kind", "?")] = by_kind.get(ev.get("kind", "?"), 0) + 1
+    lines.append(f"trace: {len(events)} events "
+                 f"({', '.join(f'{k}={v}' for k, v in sorted(by_kind.items()))})")
+
+    elastic = [e for e in events if e.get("kind") == "elastic"]
+    if elastic:
+        lines.append("elastic decisions (epoch beta u imp_ratio):")
+        for ev in elastic:
+            lines.append(
+                f"  {ev['decision_epoch']:>4} {ev['beta']:>2} "
+                f"{ev['u']:>6.3f} {ev['imp_ratio']:>6.3f}"
+            )
+    breaker = [e for e in events if e.get("kind") == "breaker"]
+    if breaker:
+        lines.append("breaker transitions:")
+        for ev in breaker:
+            lines.append(f"  t={ev['at_s']:>9.3f}s {ev['old']} -> {ev['new']}")
+    degraded = sum(
+        1 for e in events
+        if e.get("kind") == "fetch" and e.get("source") == "degraded"
+    )
+    skipped = sum(
+        1 for e in events
+        if e.get("kind") == "fetch" and e.get("source") == "skipped"
+    )
+    if degraded or skipped:
+        lines.append(f"degraded serving: {degraded} substituted, {skipped} skipped "
+                     "(excluded from hit ratios)")
+
+    restores = by_kind.get("restore", 0)
+    if restores:
+        lines.append(f"consistency check skipped: {restores} restore event(s) — "
+                     "replayed batches appear twice in the journal")
+        return lines
+
+    aggs = {a.epoch: a for a in aggregate_trace(events)}
+    worst = 0.0
+    checked = 0
+    for e in epochs:
+        a = aggs.get(e["epoch"])
+        if a is None:
+            continue
+        checked += 1
+        for got, want in (
+            (a.hit_ratio, e.get("hit_ratio")),
+            (a.substitute_ratio, e.get("substitute_ratio")),
+            (a.data_load_s, e.get("data_load_s")),
+            (a.compute_s, e.get("compute_s")),
+            (a.is_visible_s, e.get("is_visible_s")),
+            (a.epoch_time_s, e.get("epoch_time_s")),
+        ):
+            if want is not None:
+                worst = max(worst, abs(got - float(want)))
+    status = "OK" if worst < 1e-6 else f"MISMATCH (max abs err {worst:.3e})"
+    lines.append(
+        f"trace vs per-epoch metrics: {status} over {checked} epoch(s)"
+    )
+    return lines
+
+
+def render_report(run_dir: Union[str, Path]) -> str:
+    """Render the full ``repro report`` text for one run directory.
+
+    Expects ``epochs.jsonl`` (required) plus optional ``summary.json``
+    and ``trace.jsonl`` as written by :func:`write_run_artifacts` and a
+    :class:`~repro.obs.trace.JsonlRecorder`.
+    """
+    run_dir = Path(run_dir)
+    epochs_path = run_dir / EPOCHS_FILE
+    if not epochs_path.is_file():
+        raise FileNotFoundError(
+            f"{epochs_path} not found — export a run with "
+            "`repro train --trace-dir` or write_run_artifacts()"
+        )
+    epochs = read_jsonl(epochs_path)
+    lines: List[str] = []
+    if epochs:
+        head = epochs[0]
+        lines.append(
+            f"run: policy={head.get('policy', '?')} model={head.get('model', '?')} "
+            f"dataset={head.get('dataset', '?')} epochs={len(epochs)}"
+        )
+    lines.extend(_epoch_rows(epochs))
+
+    totals = {
+        k: sum(float(e.get(k, 0.0) or 0.0) for e in epochs)
+        for k in ("data_load_s", "compute_s", "is_visible_s", "preprocess_s",
+                  "epoch_time_s")
+    }
+    lines.append(
+        "stage totals: "
+        + "  ".join(f"{k}={v:.3f}" for k, v in totals.items())
+    )
+
+    summary_path = run_dir / SUMMARY_FILE
+    if summary_path.is_file():
+        summary = json.loads(summary_path.read_text())
+        counters = summary.get("metrics", {}).get("counters", {})
+        if counters:
+            interesting = {
+                k: v for k, v in counters.items()
+                if not k.startswith("cache.fetch.") or v
+            }
+            lines.append(
+                "counters: "
+                + "  ".join(f"{k}={v}" for k, v in sorted(interesting.items()))
+            )
+        meta = summary.get("meta")
+        if meta:
+            lines.append(
+                "repro: "
+                + "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+            )
+
+    trace_path = run_dir / TRACE_FILE
+    if trace_path.is_file():
+        lines.extend(_trace_section(trace_path, epochs))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Structured trace recorders (the event-sink half of ``repro.obs``).
+
+A *trace* is an append-only journal of structured events — one dict per
+event — emitted by the cache hierarchy, the stores, the elastic manager,
+the circuit breaker, and the trainer as a run executes. Three sinks:
+
+* :class:`NullRecorder` — the default everywhere; ``enabled`` is False so
+  instrumented call sites skip event construction entirely (zero
+  overhead when tracing is off).
+* :class:`InMemoryRecorder` — keeps events in a list; tests and
+  interactive analysis.
+* :class:`JsonlRecorder` — streams each event as one JSON line to a file;
+  the format ``repro report`` and :mod:`repro.obs.report` consume.
+
+Every event carries at least ``kind`` (the event type, e.g. ``"fetch"``)
+and ``epoch`` (the trainer's current epoch, ``-1`` outside a run). The
+remaining fields are kind-specific; see the README "Observability"
+section for the full schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+__all__ = [
+    "TraceRecorder",
+    "NullRecorder",
+    "InMemoryRecorder",
+    "JsonlRecorder",
+    "read_jsonl",
+]
+
+
+class TraceRecorder:
+    """Protocol for trace sinks.
+
+    Subclasses set ``enabled`` and implement :meth:`emit`. Call sites are
+    expected to guard event construction with ``if recorder.enabled:`` so
+    a disabled recorder costs one attribute read per instrumented op.
+    """
+
+    #: Whether :meth:`emit` does anything; call sites guard on this.
+    enabled: bool = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Record one structured event (a flat JSON-serializable dict)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release any underlying resources (default: no-op)."""
+
+
+class NullRecorder(TraceRecorder):
+    """Discards everything; ``enabled`` is False so emitters skip work."""
+
+    enabled = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Drop the event."""
+
+
+class InMemoryRecorder(TraceRecorder):
+    """Accumulates events in ``self.events`` (a plain list of dicts)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Append the event to the in-memory list."""
+        self.events.append(event)
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """All recorded events of one kind, in emission order."""
+        return [e for e in self.events if e.get("kind") == kind]
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()
+
+
+class JsonlRecorder(TraceRecorder):
+    """Streams events to ``path``, one JSON object per line.
+
+    The file is opened lazily on the first event and every line is
+    flushed, so a crashed (or preempted) run leaves a readable trace up
+    to its last completed operation. Use as a context manager or call
+    :meth:`close` explicitly.
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._fh = None
+        self.emitted = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Serialize the event as one JSON line (flushed immediately)."""
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("w")
+        json.dump(event, self._fh, separators=(",", ":"))
+        self._fh.write("\n")
+        self._fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonlRecorder":
+        """Context-manager entry: returns self."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Context-manager exit: closes the file."""
+        self.close()
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dicts.
+
+    Blank lines are skipped; a truncated final line (crashed writer)
+    raises ``json.JSONDecodeError`` — pass the file through
+    ``itertools.islice`` style pre-filtering if partial reads are needed.
+    """
+    events: List[Dict[str, Any]] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -26,6 +26,7 @@ from typing import List
 
 import numpy as np
 
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.resilience.errors import CircuitOpenError
 from repro.storage.flaky import TransientFetchError
 from repro.storage.wrappers import StoreWrapper
@@ -75,12 +76,19 @@ class CircuitBreaker:
         self._consecutive_failures = 0
         self._half_open_successes = 0
         self._opened_at = 0.0
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish state transitions to ``observer``."""
+        self._obs = observer
 
     # ------------------------------------------------------------------
     def _transition(self, new: BreakerState, now: float) -> None:
         if new is self.state:
             return
         self.events.append(BreakerEvent(now, self.state, new))
+        if self._obs.active:
+            self._obs.on_breaker(self.state.value, new.value, now)
         self.state = new
 
     def allow(self, now: float) -> bool:

@@ -226,6 +226,8 @@ class ResilientTrainer(Trainer):
         self._last_ckpt_clock_s = self.clock.total_seconds
         self._batches_since_ckpt = 0
         self._prune()
+        if self.observer.active:
+            self.observer.on_checkpoint(str(path), int(epoch), int(batch))
         return path
 
     def _restore(self, path: Union[str, Path]) -> None:
@@ -259,6 +261,8 @@ class ResilientTrainer(Trainer):
             ]
         self._last_ckpt_clock_s = self.clock.total_seconds
         self._batches_since_ckpt = 0
+        if self.observer.active:
+            self.observer.on_restore(str(path), self._cursor[0], self._cursor[1])
 
     # ------------------------------------------------------------------
     def checkpoints(self) -> List[Path]:

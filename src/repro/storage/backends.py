@@ -12,6 +12,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.storage.clock import SimClock
 from repro.storage.latency import ConstantLatency, LatencyModel
 
@@ -58,6 +59,11 @@ class RemoteStore:
         self.item_sizes = item_sizes
         self.fetch_count = 0
         self.bytes_fetched = 0
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish per-fetch latency/bytes to ``observer``."""
+        self._obs = observer
 
     def __len__(self) -> int:
         return self._payloads.shape[0]
@@ -75,7 +81,10 @@ class RemoteStore:
         nbytes = self.size_of(index)
         self.fetch_count += 1
         self.bytes_fetched += nbytes
-        self.clock.advance(self.STAGE, self.latency.sample(nbytes))
+        latency_s = self.latency.sample(nbytes)
+        self.clock.advance(self.STAGE, latency_s)
+        if self._obs.active:
+            self._obs.on_store_fetch(index, nbytes, latency_s)
         return self._payloads[index]
 
     def peek(self, index: int) -> np.ndarray:
@@ -96,6 +105,11 @@ class InMemoryStore:
         self.fetch_count = 0
         self.bytes_fetched = 0
         self.clock = SimClock()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish per-fetch activity to ``observer`` (zero latency)."""
+        self._obs = observer
 
     def __len__(self) -> int:
         return self._payloads.shape[0]
@@ -109,6 +123,8 @@ class InMemoryStore:
         if not 0 <= index < len(self):
             raise IndexError(f"sample index {index} out of range")
         self.fetch_count += 1
+        if self._obs.active:
+            self._obs.on_store_fetch(index, self.size_of(index), 0.0)
         return self._payloads[index]
 
     def peek(self, index: int) -> np.ndarray:

@@ -86,6 +86,7 @@ class TrainResult:
             "data_load_s": float(sum(e.data_load_s for e in self.epochs)),
             "compute_s": float(sum(e.compute_s for e in self.epochs)),
             "is_visible_s": float(sum(e.is_visible_s for e in self.epochs)),
+            "preprocess_s": float(sum(e.preprocess_s for e in self.epochs)),
         }
 
     def summary(self) -> Dict[str, float]:

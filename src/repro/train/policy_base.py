@@ -19,6 +19,7 @@ import numpy as np
 from repro.cache.base import CacheStats
 from repro.core.semantic_cache import FetchOutcome, FetchSource
 from repro.data.synthetic import SyntheticDataset
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.storage.backends import RemoteStore
 from repro.utils.rng import RngLike, resolve_rng
 
@@ -49,11 +50,21 @@ class TrainingPolicy:
     def __init__(self, rng: RngLike = None) -> None:
         self._rng = resolve_rng(rng)
         self.ctx: Optional[PolicyContext] = None
+        self._obs = NULL_OBSERVER
 
     # ------------------------------------------------------------------
     def setup(self, ctx: PolicyContext) -> None:
         """Bind the policy to a dataset/store; called once by the trainer."""
         self.ctx = ctx
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Wire the run observer into the policy (call after ``setup``).
+
+        The base policy only keeps the reference; subclasses with caches
+        or managers cascade it. Observer wiring is runtime-only — never
+        checkpointed.
+        """
+        self._obs = observer
 
     def _require_ctx(self) -> PolicyContext:
         if self.ctx is None:

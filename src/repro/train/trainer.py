@@ -28,6 +28,7 @@ epoch boundaries.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Tuple
 
@@ -38,6 +39,7 @@ from repro.data.loader import DataLoader
 from repro.data.synthetic import SyntheticDataset
 from repro.nn.models import Model
 from repro.nn.optim import SGD
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.storage.backends import RemoteStore
 from repro.storage.clock import SimClock
 from repro.storage.latency import ConstantLatency, LatencyModel
@@ -144,6 +146,7 @@ class Trainer:
         config: Optional[TrainerConfig] = None,
         latency: Optional[LatencyModel] = None,
         rng: RngLike = None,
+        observer: Optional[Observer] = None,
     ) -> None:
         self.model = model
         self.train_set = train_set
@@ -151,6 +154,7 @@ class Trainer:
         self.policy = policy
         self.config = config or TrainerConfig()
         self._rng = resolve_rng(rng)
+        self.observer = observer if observer is not None else NULL_OBSERVER
 
         self.clock = SimClock()
         self.store = RemoteStore(
@@ -181,6 +185,35 @@ class Trainer:
             train_set.y, policy.fetch, batch_size=self.config.batch_size
         )
         self._val_accuracy = 0.0
+        self._attach_observer()
+
+    # ------------------------------------------------------------------
+    def _attach_observer(self) -> None:
+        """Wire ``self.observer`` through the store stack and the policy.
+
+        Idempotent; re-run at the top of :meth:`run` because tests and
+        the resilience layer wrap ``self.store`` after construction.
+        """
+        obs = self.observer
+        if not obs.active:
+            return
+        obs.hit_latency_s = self.config.hit_latency_s
+        store = self.store
+        while True:
+            # Duck-typed walk (isinstance on resilience types would cycle
+            # imports): a wrapper owning a circuit breaker exposes it in
+            # its own __dict__; __getattr__ forwarding is bypassed so each
+            # breaker attaches exactly once.
+            breaker = store.__dict__.get("breaker")
+            if breaker is not None and hasattr(breaker, "attach_observer"):
+                breaker.attach_observer(obs)
+            inner = store.__dict__.get("inner")
+            if inner is None:
+                break
+            store = inner
+        if hasattr(store, "attach_observer"):
+            store.attach_observer(obs)
+        self.policy.attach_observer(obs)
 
     # ------------------------------------------------------------------
     def _stage_costs(self) -> StageCostModel:
@@ -202,8 +235,25 @@ class Trainer:
             dataset_name=self.train_set.name,
         )
 
+    def _emit_run_start(self) -> None:
+        """Record the run configuration in the trace (aggregators need
+        ``io_workers``/``hit_latency_s`` to reproduce stage times)."""
+        cfg = self.config
+        self.observer.on_run_start({
+            "policy": self.policy.name,
+            "model": self.model.spec.name if self.model.spec else "custom",
+            "dataset": self.train_set.name,
+            "epochs": cfg.epochs,
+            "batch_size": cfg.batch_size,
+            "io_workers": cfg.io_workers,
+            "hit_latency_s": cfg.hit_latency_s,
+        })
+
     def run(self) -> TrainResult:
         """Train for ``config.epochs`` epochs; returns the full run record."""
+        self._attach_observer()
+        if self.observer.active:
+            self._emit_run_start()
         result = self._new_result()
         for epoch in range(self.config.epochs):
             self._run_epoch(epoch, result)
@@ -235,6 +285,8 @@ class Trainer:
         costs = self._stage_costs()
         visible_is_per_batch_ms = costs.visible_is_ms(costs.recommended_mode())
 
+        if self.observer.active:
+            self.observer.set_epoch(epoch)
         self.optimizer.set_epoch(epoch)
         if order is None:
             self.policy.before_epoch(epoch)
@@ -249,7 +301,8 @@ class Trainer:
             batch = self.loader.collate(self.loader.batch_ids(order, slot))
             if batch is not None:
                 self._train_batch(
-                    batch, epoch, acc, costs, visible_is_per_batch_ms
+                    batch, epoch, acc, costs, visible_is_per_batch_ms,
+                    slot=slot,
                 )
             if batch_hook is not None:
                 batch_hook(epoch, slot, order, acc)
@@ -280,26 +333,27 @@ class Trainer:
         if table is not None and table.std_history:
             score_std = table.std_history[-1]
 
-        result.epochs.append(
-            EpochMetrics(
-                epoch=epoch,
-                train_loss=acc.loss / max(acc.n_seen, 1),
-                val_accuracy=self._val_accuracy,
-                hit_ratio=hit_ratio,
-                exact_hit_ratio=exact_ratio,
-                substitute_ratio=sub_ratio,
-                data_load_s=data_load_s,
-                compute_s=acc.compute_s,
-                is_visible_s=is_visible_s,
-                epoch_time_s=(
-                    data_load_s + acc.compute_s + is_visible_s
-                    + acc.preprocess_s
-                ),
-                imp_ratio=self.policy.imp_ratio,
-                score_std=score_std,
-                preprocess_s=acc.preprocess_s,
-            )
+        em = EpochMetrics(
+            epoch=epoch,
+            train_loss=acc.loss / max(acc.n_seen, 1),
+            val_accuracy=self._val_accuracy,
+            hit_ratio=hit_ratio,
+            exact_hit_ratio=exact_ratio,
+            substitute_ratio=sub_ratio,
+            data_load_s=data_load_s,
+            compute_s=acc.compute_s,
+            is_visible_s=is_visible_s,
+            epoch_time_s=(
+                data_load_s + acc.compute_s + is_visible_s
+                + acc.preprocess_s
+            ),
+            imp_ratio=self.policy.imp_ratio,
+            score_std=score_std,
+            preprocess_s=acc.preprocess_s,
         )
+        result.epochs.append(em)
+        if self.observer.active:
+            self.observer.on_epoch_metrics(dataclasses.asdict(em))
 
     def _train_batch(
         self,
@@ -308,6 +362,7 @@ class Trainer:
         acc: EpochAccumulator,
         costs: StageCostModel,
         visible_is_per_batch_ms: float,
+        slot: int = 0,
     ) -> None:
         cfg = self.config
         transform = cfg.transform
@@ -349,6 +404,15 @@ class Trainer:
         self.clock.advance("is_visible", visible_is_per_batch_ms / 1e3)
         if batch_preprocess_s:
             self.clock.advance("preprocess", batch_preprocess_s)
+        if self.observer.active:
+            self.observer.on_batch(
+                slot,
+                len(batch),
+                trained_fraction,
+                batch_compute_s,
+                batch_preprocess_s,
+                visible_is_per_batch_ms / 1e3,
+            )
 
 
 def _snapshot(policy: TrainingPolicy):

@@ -104,6 +104,29 @@ def test_invalid_params():
         AccuracyMonitor(gamma=0.0)
 
 
+def test_savgol_config_validated_at_construction():
+    """Regression: a bad filter config used to pass ``__init__`` and only
+    blow up inside ``growth_rate()`` at epoch m+1, mid-training."""
+    with pytest.raises(ValueError, match="odd"):
+        AccuracyMonitor(savgol_window=4)  # even window
+    with pytest.raises(ValueError, match="odd"):
+        AccuracyMonitor(savgol_window=0)
+    with pytest.raises(ValueError, match="non-negative"):
+        AccuracyMonitor(savgol_polyorder=-1)
+    with pytest.raises(ValueError, match="less than"):
+        AccuracyMonitor(savgol_window=5, savgol_polyorder=5)
+    with pytest.raises(ValueError, match="less than"):
+        AccuracyMonitor(savgol_window=3, savgol_polyorder=4)
+
+
+def test_savgol_valid_config_survives_long_history():
+    """A constructor-accepted config never fails later in the run."""
+    m = AccuracyMonitor(m=3, savgol_window=5, savgol_polyorder=2)
+    for i in range(20):
+        m.observe(0.1 + 0.02 * i)  # must not raise at any epoch
+    assert m.growth_rate() > 0.0
+
+
 # ----------------------------------------------------------------------
 # RatioController (Eq. 8)
 # ----------------------------------------------------------------------

@@ -157,3 +157,30 @@ def test_is_only_mode_zero_cache():
     out = p.fetch(5)
     assert out.source == FetchSource.REMOTE  # nothing cached
     assert p.stats().hit_ratio == 0.0
+
+
+def test_mixed_weights_all_zero_scores_uniform_fallback():
+    """Regression: all-zero scores with score_floor=0 made
+    ``_mixed_weights`` divide by zero and poison the multinomial draw
+    with NaNs."""
+    p, ctx = _setup_policy(score_floor=0.0)
+    n = ctx.num_samples
+    p.score_table.update(
+        np.arange(n), np.zeros(n), epoch=0
+    )
+    w = p._mixed_weights()
+    assert np.all(np.isfinite(w))
+    np.testing.assert_allclose(w, np.full(n, 1.0 / n))
+    # The epoch order still draws cleanly from the degenerate weights.
+    order = p.epoch_order(1)
+    assert len(order) == n
+
+
+def test_mixed_weights_normal_scores_sum_to_one():
+    p, ctx = _setup_policy()
+    n = ctx.num_samples
+    rng = np.random.default_rng(0)
+    p.score_table.update(np.arange(n), rng.random(n) + 0.1, epoch=0)
+    w = p._mixed_weights()
+    assert np.all(w > 0)
+    assert w.sum() == pytest.approx(1.0)

@@ -148,3 +148,46 @@ def test_len_and_reset(cache):
     cache.reset_stats()
     assert cache.stats.requests == 0
     assert cache.importance.stats.requests == 0
+
+
+# ----------------------------------------------------------------------
+# Capacity split determinism (regression for banker's rounding)
+# ----------------------------------------------------------------------
+def test_split_capacity_half_always_rounds_up():
+    """Regression: ``round()`` banker's rounding made .5 splits flip
+    between adjacent totals (round(2.5)=2 but round(3.5)=4)."""
+    from repro.core.semantic_cache import split_capacity
+
+    assert split_capacity(5, 0.5) == 3
+    assert split_capacity(7, 0.5) == 4
+    # Every exact .5 product rounds the same direction.
+    for total in range(1, 50):
+        assert split_capacity(total, 0.5) == (total + 1) // 2
+
+
+def test_split_capacity_monotone_in_ratio():
+    """Raising imp_ratio never shrinks the importance share."""
+    from repro.core.semantic_cache import split_capacity
+
+    for total in (1, 7, 10, 33, 100):
+        prev = -1
+        for r in np.linspace(0.0, 1.0, 201):
+            cap = split_capacity(total, float(r))
+            assert 0 <= cap <= total
+            assert cap >= prev
+            prev = cap
+        assert split_capacity(total, 0.0) == 0
+        assert split_capacity(total, 1.0) == total
+
+
+def test_set_imp_ratio_split_matches_constructor():
+    """Rebalancing to ratio r yields the same split as building at r."""
+    for r in (0.0, 0.25, 0.5, 0.65, 0.9, 1.0):
+        built = SemanticCache(total_capacity=10, imp_ratio=r)
+        moved = SemanticCache(total_capacity=10, imp_ratio=0.8)
+        moved.set_imp_ratio(r)
+        assert moved.importance.capacity == built.importance.capacity
+        assert moved.homophily.capacity == built.homophily.capacity
+        assert (
+            moved.importance.capacity + moved.homophily.capacity == 10
+        )

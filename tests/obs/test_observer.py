@@ -1,0 +1,173 @@
+"""Observer tests: null behaviour, latency attribution, component events."""
+
+import numpy as np
+import pytest
+
+from repro.core.elastic import ElasticCacheManager
+from repro.core.semantic_cache import FetchSource, SemanticCache
+from repro.obs import NULL_OBSERVER, InMemoryRecorder, MetricsRegistry, Observer
+from repro.resilience import CircuitBreaker
+from repro.resilience.errors import DegradedModeError
+from repro.storage.backends import RemoteStore
+
+
+def _observer():
+    rec = InMemoryRecorder()
+    reg = MetricsRegistry()
+    return Observer(recorder=rec, metrics=reg), rec, reg
+
+
+def test_null_observer_inactive():
+    assert NULL_OBSERVER.active is False
+    assert NULL_OBSERVER.recorder.enabled is False
+
+
+def test_components_default_to_null_observer():
+    cache = SemanticCache(total_capacity=8)
+    store = RemoteStore(np.zeros((4, 2)))
+    assert cache._obs is NULL_OBSERVER
+    assert store._obs is NULL_OBSERVER
+    # An un-instrumented fetch works and records nothing anywhere.
+    store.get(0)
+    assert NULL_OBSERVER.recorder.enabled is False
+
+
+def test_store_latency_consumed_by_fetch_event():
+    obs, rec, reg = _observer()
+    store = RemoteStore(np.zeros((4, 2)), item_nbytes=1024)
+    store.attach_observer(obs)
+    cache = SemanticCache(total_capacity=8)
+    cache.attach_observer(obs)
+    obs.set_epoch(0)
+
+    out = cache.fetch(1, 1.0, store.get)
+    assert out.source is FetchSource.REMOTE
+    (ev,) = rec.of_kind("fetch")
+    assert ev["requested_id"] == 1
+    assert ev["source"] == "remote"
+    assert ev["latency_s"] > 0
+    # Consumed: nothing pending for the next event.
+    assert obs.take_store_latency() == 0.0
+    assert reg.counter("store.fetches").value == 1
+    assert reg.counter("cache.fetch.remote").value == 1
+
+
+def test_cache_hit_uses_hit_latency():
+    obs, rec, _ = _observer()
+    obs.hit_latency_s = 1e-5
+    cache = SemanticCache(total_capacity=8, imp_ratio=1.0)
+    cache.attach_observer(obs)
+    cache.importance.admit(3, np.zeros(2), score=1.0)
+    out = cache.fetch(3, 1.0, lambda i: np.zeros(2))
+    assert out.source is FetchSource.IMPORTANCE
+    (ev,) = rec.of_kind("fetch")
+    assert ev["source"] == "importance"
+    assert ev["latency_s"] == pytest.approx(1e-5)
+
+
+def test_importance_admission_events():
+    obs, rec, reg = _observer()
+    cache = SemanticCache(total_capacity=4, imp_ratio=1.0)
+    cache.attach_observer(obs)
+    imp = cache.importance
+    for k in range(4):
+        imp.admit(k, np.zeros(2), score=float(k + 1))
+    imp.admit(9, np.zeros(2), score=0.1)   # below min: rejected
+    imp.admit(10, np.zeros(2), score=9.0)  # evicts the min
+    admits = rec.of_kind("importance_admit")
+    assert len(admits) == 6
+    assert admits[4]["admitted"] is False
+    assert admits[5]["admitted"] is True and admits[5]["evicted_key"] is not None
+    assert reg.counter("importance.admitted").value == 5
+    assert reg.counter("importance.rejected").value == 1
+    assert reg.counter("importance.evictions").value == 1
+
+
+def test_degraded_serve_events():
+    obs, rec, reg = _observer()
+    cache = SemanticCache(total_capacity=10, imp_ratio=0.5)
+    cache.attach_observer(obs)
+    cache.update_homophily(3, np.full(4, 3.0), [30])
+    cache.enable_degraded_mode()
+
+    def boom(index):
+        raise DegradedModeError("down")
+
+    out = cache.fetch(99, 1.0, boom)
+    assert out.source is FetchSource.DEGRADED
+    (ev,) = rec.of_kind("fetch")
+    assert ev["source"] == "degraded"
+    assert reg.counter("degraded.substituted").value == 1
+
+
+def test_breaker_transition_events():
+    obs, rec, reg = _observer()
+    br = CircuitBreaker(failure_threshold=2, cooldown_s=1.0)
+    br.attach_observer(obs)
+    br.record_failure(0.0)
+    br.record_failure(0.1)  # opens
+    assert br.allow(2.0)    # half-open probe
+    br.record_success(2.1)  # closes (close_threshold=1)
+    kinds = [(e["old"], e["new"]) for e in rec.of_kind("breaker")]
+    assert kinds == [
+        ("closed", "open"), ("open", "half_open"), ("half_open", "closed")
+    ]
+    assert reg.counter("breaker.opens").value == 1
+    assert reg.counter("breaker.transitions").value == 3
+
+
+def test_elastic_decision_events():
+    obs, rec, reg = _observer()
+    mgr = ElasticCacheManager(r_start=0.9, r_end=0.3, total_epochs=10)
+    mgr.attach_observer(obs)
+    for epoch in range(3):
+        mgr.step(epoch, accuracy=0.5 + 0.01 * epoch, score_std=0.5)
+    evs = rec.of_kind("elastic")
+    assert [e["decision_epoch"] for e in evs] == [0, 1, 2]
+    assert reg.gauge("elastic.imp_ratio").value == pytest.approx(
+        mgr.current_ratio
+    )
+
+
+def test_events_stamped_with_epoch():
+    obs, rec, _ = _observer()
+    obs.set_epoch(4)
+    obs.emit("fetch", requested_id=0)
+    assert rec.events[0]["epoch"] == 4
+
+
+def test_metrics_only_observer_skips_trace():
+    reg = MetricsRegistry()
+    obs = Observer(metrics=reg)  # NullRecorder by default
+    obs.on_fetch(0, 0, FetchSource.REMOTE)
+    assert reg.counter("cache.fetches").value == 1
+    assert obs.recorder.enabled is False
+
+
+def test_observation_does_not_perturb_training():
+    """A traced run and an untraced run are bit-identical: observation is
+    read-only and the null path costs nothing but an attribute check."""
+    from repro.data.synthetic import make_clustered_dataset, train_test_split
+    from repro.nn.models import build_model
+    from repro.core.policy import SpiderCachePolicy
+    from repro.train.trainer import Trainer, TrainerConfig
+
+    def run(observer):
+        ds = make_clustered_dataset(200, n_classes=4, dim=8, rng=0)
+        train, test = train_test_split(ds, test_fraction=0.25, rng=1)
+        model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+        policy = SpiderCachePolicy(cache_fraction=0.25, rng=3)
+        t = Trainer(model, train, test, policy,
+                    TrainerConfig(epochs=2, batch_size=32),
+                    observer=observer, rng=4)
+        return t.run()
+
+    plain = run(None)
+    obs, rec, _ = _observer()
+    traced = run(obs)
+    assert len(rec.events) > 0
+    for pe, te in zip(plain.epochs, traced.epochs):
+        assert te.train_loss == pe.train_loss
+        assert te.val_accuracy == pe.val_accuracy
+        assert te.hit_ratio == pe.hit_ratio
+        assert te.epoch_time_s == pe.epoch_time_s

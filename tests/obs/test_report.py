@@ -1,0 +1,163 @@
+"""Reporting tests: trace aggregation, artifact export, rendering.
+
+Includes the observability acceptance test: a traced SpiderCache run's
+JSONL aggregation reproduces the trainer's per-epoch EpochMetrics
+(hit ratios and stage times) to float precision.
+"""
+
+import json
+
+import pytest
+
+from repro.core.policy import SpiderCachePolicy
+from repro.data.synthetic import make_clustered_dataset, train_test_split
+from repro.nn.models import build_model
+from repro.obs import (
+    InMemoryRecorder,
+    JsonlRecorder,
+    MetricsRegistry,
+    Observer,
+    aggregate_trace,
+    render_report,
+    write_run_artifacts,
+)
+from repro.obs.report import EPOCHS_FILE, SUMMARY_FILE, TRACE_FILE
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    """One traced SpiderCache run: (result, events, registry, run_dir)."""
+    out = tmp_path_factory.mktemp("traced-run")
+    ds = make_clustered_dataset(400, n_classes=4, dim=16, rng=0)
+    train, test = train_test_split(ds, test_fraction=0.25, rng=1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+    recorder = JsonlRecorder(out / TRACE_FILE)
+    registry = MetricsRegistry()
+    observer = Observer(recorder=recorder, metrics=registry)
+    policy = SpiderCachePolicy(cache_fraction=0.3, rng=3)
+    trainer = Trainer(
+        model, train, test, policy,
+        TrainerConfig(epochs=3, batch_size=64),
+        observer=observer, rng=4,
+    )
+    result = trainer.run()
+    recorder.close()
+    write_run_artifacts(
+        result, out, metrics_snapshot=registry.snapshot(),
+        meta={"seed": 0},
+    )
+    from repro.obs import read_jsonl
+
+    return result, read_jsonl(out / TRACE_FILE), registry, out
+
+
+def test_trace_aggregation_reproduces_epoch_metrics(traced_run):
+    result, events, _, _ = traced_run
+    aggs = aggregate_trace(events)
+    assert len(aggs) == len(result.epochs)
+    for a, em in zip(aggs, result.epochs):
+        assert a.epoch == em.epoch
+        assert a.hit_ratio == pytest.approx(em.hit_ratio, abs=1e-12)
+        assert a.exact_hit_ratio == pytest.approx(em.exact_hit_ratio, abs=1e-12)
+        assert a.substitute_ratio == pytest.approx(em.substitute_ratio, abs=1e-12)
+        assert a.data_load_s == pytest.approx(em.data_load_s, abs=1e-9)
+        assert a.compute_s == pytest.approx(em.compute_s, abs=1e-9)
+        assert a.is_visible_s == pytest.approx(em.is_visible_s, abs=1e-9)
+        assert a.epoch_time_s == pytest.approx(em.epoch_time_s, abs=1e-9)
+
+
+def test_trace_fetch_counts_match_metrics(traced_run):
+    _, events, registry, _ = traced_run
+    fetches = [e for e in events if e["kind"] == "fetch"]
+    full = registry.snapshot()
+    snap = full["counters"]
+    assert len(fetches) == snap["cache.fetches"]
+    remote = sum(1 for e in fetches if e["source"] == "remote")
+    assert remote == snap["cache.fetch.remote"]
+    # Every remote store fetch is attributed to a fetch or prefetch event.
+    traced_latency = sum(
+        e.get("latency_s", 0.0) for e in events
+        if e["kind"] in ("fetch", "prefetch") and e.get("source") != "importance"
+        and e.get("source") != "homophily" and e.get("source") != "degraded"
+        and e.get("source") != "skipped"
+    )
+    hist = full["histograms"]["store.fetch_latency_s"]
+    assert traced_latency == pytest.approx(hist["total"], abs=1e-9)
+
+
+def test_artifacts_written(traced_run):
+    _, _, _, out = traced_run
+    assert (out / EPOCHS_FILE).is_file()
+    assert (out / SUMMARY_FILE).is_file()
+    rows = [json.loads(l) for l in (out / EPOCHS_FILE).read_text().splitlines()]
+    assert len(rows) == 3
+    assert rows[0]["policy"] == "spidercache"
+    assert "hit_ratio" in rows[0]
+    summary = json.loads((out / SUMMARY_FILE).read_text())
+    assert summary["metrics"]["counters"]["cache.fetches"] > 0
+    assert summary["meta"] == {"seed": 0}
+    assert "final_accuracy" in summary["summary"]
+
+
+def test_render_report_consistency_ok(traced_run):
+    _, _, _, out = traced_run
+    text = render_report(out)
+    assert "policy=spidercache" in text
+    assert "trace vs per-epoch metrics: OK" in text
+    assert "stage totals:" in text
+    assert "counters:" in text
+
+
+def test_render_report_missing_dir(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        render_report(tmp_path / "nope")
+
+
+def test_aggregate_explicit_params_override():
+    events = [
+        {"kind": "fetch", "epoch": 0, "requested_id": 1, "served_id": 1,
+         "source": "remote", "latency_s": 8.0},
+        {"kind": "fetch", "epoch": 0, "requested_id": 2, "served_id": 2,
+         "source": "importance", "latency_s": 1e-5},
+    ]
+    (a,) = aggregate_trace(events, io_workers=4, hit_latency_s=1e-5)
+    assert a.misses == 1 and a.exact_hits == 1
+    assert a.data_load_s == pytest.approx(8.0 / 4 + 1e-5)
+
+
+def test_aggregate_degraded_excluded_from_hit_ratio():
+    events = [
+        {"kind": "fetch", "epoch": 0, "requested_id": 1, "served_id": 9,
+         "source": "degraded", "latency_s": 0.0},
+        {"kind": "fetch", "epoch": 0, "requested_id": 2, "served_id": 2,
+         "source": "remote", "latency_s": 0.01},
+        {"kind": "fetch", "epoch": 0, "requested_id": 3, "served_id": None
+         or 0, "source": "skipped", "latency_s": 0.0},
+    ]
+    (a,) = aggregate_trace(events, io_workers=1, hit_latency_s=0.0)
+    assert a.degraded_serves == 1
+    assert a.requests == 2  # remote + skipped; degraded excluded
+    assert a.hit_ratio == 0.0
+    assert a.skipped == 1
+
+
+def test_report_skips_consistency_check_after_restore(tmp_path):
+    (tmp_path / EPOCHS_FILE).write_text(
+        json.dumps({"epoch": 0, "policy": "p", "model": "m", "dataset": "d",
+                    "val_accuracy": 0.5, "hit_ratio": 0.0,
+                    "exact_hit_ratio": 0.0, "substitute_ratio": 0.0,
+                    "data_load_s": 1.0, "compute_s": 1.0,
+                    "is_visible_s": 0.0, "epoch_time_s": 2.0}) + "\n"
+    )
+    trace = [
+        {"kind": "restore", "epoch": 0, "path": "x", "at_epoch": 0, "batch": 3},
+        {"kind": "fetch", "epoch": 0, "requested_id": 0, "served_id": 0,
+         "source": "remote", "latency_s": 1.0},
+    ]
+    with (tmp_path / TRACE_FILE).open("w") as fh:
+        for ev in trace:
+            fh.write(json.dumps(ev) + "\n")
+    text = render_report(tmp_path)
+    assert "consistency check skipped" in text
+    assert "restore" in text

@@ -1,0 +1,69 @@
+"""Trace recorder tests: null, in-memory, and JSONL sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    InMemoryRecorder,
+    JsonlRecorder,
+    NullRecorder,
+    read_jsonl,
+)
+
+
+def test_null_recorder_disabled_and_silent():
+    rec = NullRecorder()
+    assert rec.enabled is False
+    rec.emit({"kind": "fetch"})  # no-op, no error
+    rec.close()
+
+
+def test_in_memory_recorder_accumulates():
+    rec = InMemoryRecorder()
+    assert rec.enabled is True
+    rec.emit({"kind": "fetch", "epoch": 0})
+    rec.emit({"kind": "batch", "epoch": 0})
+    rec.emit({"kind": "fetch", "epoch": 1})
+    assert len(rec.events) == 3
+    assert [e["epoch"] for e in rec.of_kind("fetch")] == [0, 1]
+    rec.clear()
+    assert rec.events == []
+
+
+def test_jsonl_recorder_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JsonlRecorder(path) as rec:
+        rec.emit({"kind": "run_start", "epoch": -1, "policy": "spidercache"})
+        rec.emit({"kind": "fetch", "epoch": 0, "requested_id": 7,
+                  "served_id": 7, "source": "remote", "latency_s": 0.004})
+    assert rec.emitted == 2
+    events = read_jsonl(path)
+    assert events[0]["kind"] == "run_start"
+    assert events[1]["served_id"] == 7
+    assert events[1]["latency_s"] == pytest.approx(0.004)
+
+
+def test_jsonl_recorder_lazy_open(tmp_path):
+    path = tmp_path / "sub" / "trace.jsonl"
+    rec = JsonlRecorder(path)
+    assert not path.exists()  # nothing until the first event
+    rec.emit({"kind": "fetch", "epoch": 0})
+    assert path.exists()
+    rec.close()
+    rec.close()  # idempotent
+
+
+def test_jsonl_lines_flushed_immediately(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    rec = JsonlRecorder(path)
+    rec.emit({"kind": "fetch", "epoch": 0})
+    # Readable before close: a preempted run leaves a usable journal.
+    assert json.loads(path.read_text().splitlines()[0])["kind"] == "fetch"
+    rec.close()
+
+
+def test_read_jsonl_skips_blank_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"a"}\n\n{"kind":"b"}\n')
+    assert [e["kind"] for e in read_jsonl(path)] == ["a", "b"]

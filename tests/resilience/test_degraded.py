@@ -134,3 +134,60 @@ def test_graceful_degradation_acceptance(build_run):
     # Fault counters stay visible through the wrapper stack.
     assert guarded.outage_failures == faulty.outage_failures
     assert guarded.fetch_count == trainer.store.unwrap().fetch_count
+
+
+# ----------------------------------------------------------------------
+# Regression: degraded serves must not count as substitute hits.
+# They used to increment ``stats.substitute_hits``, inflating
+# ``hit_ratio``/``substitute_ratio`` for every epoch overlapping an
+# outage and making fault-campaign tables incomparable to clean runs.
+# ----------------------------------------------------------------------
+def test_degraded_serves_not_counted_as_substitute_hits():
+    cache = SemanticCache(total_capacity=10, imp_ratio=0.5)
+    cache.update_homophily(3, np.full(4, 3.0), [30])
+    cache.enable_degraded_mode()
+    before = cache.stats.requests
+    for i in range(5):
+        out = cache.fetch(90 + i, 1.0, _boom)
+        assert out.source is FetchSource.DEGRADED
+    assert cache.stats.substitute_hits == 0
+    assert cache.stats.degraded_serves == 5
+    assert cache.degraded.substituted == 5
+    # Degraded serves stay out of the hit-ratio denominator entirely.
+    assert cache.stats.requests == before
+    assert cache.stats.hit_ratio == 0.0
+
+
+def test_degraded_hit_ratio_unaffected_by_outage():
+    """Hit ratio over mixed traffic counts only real cache activity."""
+    cache = SemanticCache(total_capacity=10, imp_ratio=1.0)
+    cache.enable_degraded_mode()
+    payloads = {i: np.full(4, float(i)) for i in range(20)}
+    # Two clean misses (admitted), then two importance hits: ratio 2/4.
+    for i in (0, 1):
+        cache.fetch(i, 5.0, payloads.__getitem__)
+    for i in (0, 1):
+        out = cache.fetch(i, 5.0, _boom)  # served from cache, not remote
+        assert out.source is FetchSource.IMPORTANCE
+    assert cache.stats.hit_ratio == pytest.approx(0.5)
+    # An outage burst served degraded must leave the ratio untouched.
+    for i in range(10, 15):
+        assert cache.fetch(i, 1.0, _boom).source is FetchSource.DEGRADED
+    assert cache.stats.hit_ratio == pytest.approx(0.5)
+    assert cache.stats.degraded_serves == 5
+
+
+def test_degraded_serves_round_trip_state_dict():
+    cache = SemanticCache(total_capacity=10, imp_ratio=0.5)
+    cache.update_homophily(3, np.full(4, 3.0), [30])
+    cache.enable_degraded_mode()
+    cache.fetch(99, 1.0, _boom)
+    state = cache.stats.state_dict()
+    assert state["degraded_serves"] == 1
+    fresh = SemanticCache(total_capacity=10, imp_ratio=0.5)
+    fresh.stats.load_state_dict(state)
+    assert fresh.stats.degraded_serves == 1
+    # Old snapshots without the counter still load (backward compat).
+    del state["degraded_serves"]
+    fresh.stats.load_state_dict(state)
+    assert fresh.stats.degraded_serves == 0

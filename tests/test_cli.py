@@ -57,3 +57,26 @@ def test_unknown_policy_rejected():
 def test_missing_command_rejected():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_train_with_trace_dir_and_report(tmp_path, capsys):
+    run_dir = tmp_path / "run"
+    assert main(
+        ["train", "--policy", "spidercache", "--trace-dir", str(run_dir)]
+        + FAST
+    ) == 0
+    out = capsys.readouterr().out
+    assert "run artifacts written" in out
+    assert (run_dir / "trace.jsonl").is_file()
+    assert (run_dir / "epochs.jsonl").is_file()
+    assert (run_dir / "summary.json").is_file()
+
+    assert main(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "policy=spidercache" in out
+    assert "trace vs per-epoch metrics: OK" in out
+
+
+def test_report_missing_dir(tmp_path, capsys):
+    assert main(["report", str(tmp_path / "nothing")]) == 2
+    assert "not found" in capsys.readouterr().err

@@ -1,0 +1,115 @@
+"""Stage-accounting invariants for clean and fault-recovered runs.
+
+The per-epoch identity (``epoch_time_s`` is exactly the sum of its four
+stage components) and the run-level consistency between
+``TrainResult.stage_totals()`` and the trainer's ``SimClock`` breakdown
+are what every time-related figure rests on — they must hold for a plain
+``Trainer`` and for a ``ResilientTrainer`` that restored mid-epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.policy import SpiderCachePolicy
+from repro.data.synthetic import make_clustered_dataset, train_test_split
+from repro.data.transforms import Compose, GaussianNoise
+from repro.nn.models import build_model
+from repro.resilience.preemption import PreemptionSchedule
+from repro.resilience.trainer import ResilientTrainer
+from repro.storage.backends import RemoteStore
+from repro.train.trainer import Trainer, TrainerConfig
+
+
+def _build(cls=Trainer, epochs=3, transform=None, **kw):
+    ds = make_clustered_dataset(240, n_classes=4, dim=16, rng=0)
+    train, test = train_test_split(ds, test_fraction=0.25, rng=1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+    policy = SpiderCachePolicy(cache_fraction=0.25, rng=3)
+    cfg = TrainerConfig(epochs=epochs, batch_size=32, transform=transform)
+    return cls(model, train, test, policy, cfg, **kw)
+
+
+def _assert_invariants(trainer, result):
+    cfg = trainer.config
+    clock = trainer.clock
+    for e in result.epochs:
+        # Per-epoch identity: the reported epoch time is exactly its parts.
+        assert e.epoch_time_s == pytest.approx(
+            e.data_load_s + e.compute_s + e.is_visible_s + e.preprocess_s,
+            abs=1e-12,
+        )
+    totals = result.stage_totals()
+    assert set(totals) == {
+        "data_load_s", "compute_s", "is_visible_s", "preprocess_s"
+    }
+    # Run totals reconcile with the simulated clock: compute and
+    # preprocess are charged per batch as-is; raw data_load divides over
+    # the io_workers plus one hit latency per cache serve.
+    assert totals["compute_s"] == pytest.approx(
+        clock.stage_seconds("compute"), abs=1e-9
+    )
+    assert totals["preprocess_s"] == pytest.approx(
+        clock.stage_seconds("preprocess"), abs=1e-9
+    )
+    assert totals["is_visible_s"] == pytest.approx(
+        clock.stage_seconds("is_visible"), abs=1e-9
+    )
+    stats = trainer.policy.stats()
+    hits = stats.hits + stats.substitute_hits + stats.degraded_serves
+    expected_load = (
+        clock.stage_seconds(RemoteStore.STAGE) / cfg.io_workers
+        + hits * cfg.hit_latency_s
+    )
+    assert totals["data_load_s"] == pytest.approx(expected_load, abs=1e-9)
+    # Total time identity at the run level.
+    assert result.total_time_s == pytest.approx(
+        sum(totals.values()), abs=1e-9
+    )
+
+
+def test_trainer_stage_accounting_invariants():
+    trainer = _build(epochs=3)
+    result = trainer.run()
+    _assert_invariants(trainer, result)
+
+
+def test_trainer_accounting_with_preprocess_stage():
+    transform = Compose([GaussianNoise(0.05, rng=5)])
+    trainer = _build(epochs=2, transform=transform)
+    result = trainer.run()
+    assert all(e.preprocess_s > 0 for e in result.epochs)
+    _assert_invariants(trainer, result)
+
+
+@pytest.mark.resilience
+def test_resilient_trainer_resumed_run_keeps_invariants(tmp_path):
+    trainer = _build(
+        ResilientTrainer,
+        epochs=3,
+        checkpoint_dir=tmp_path,
+        checkpoint_every_batches=3,
+        preemptions=PreemptionSchedule(at=[(1, 2)]),
+    )
+    result = trainer.run()
+    assert trainer.recovery.restarts == 1
+    assert len(result.epochs) == 3
+    _assert_invariants(trainer, result)
+
+
+@pytest.mark.resilience
+def test_resumed_run_metrics_match_uninterrupted(tmp_path):
+    clean = _build(epochs=3)
+    clean_result = clean.run()
+    faulted = _build(
+        ResilientTrainer,
+        epochs=3,
+        checkpoint_dir=tmp_path,
+        checkpoint_every_batches=3,
+        preemptions=PreemptionSchedule(at=[(1, 2)]),
+    )
+    faulted_result = faulted.run()
+    for ce, fe in zip(clean_result.epochs, faulted_result.epochs):
+        assert fe.epoch_time_s == pytest.approx(ce.epoch_time_s, abs=1e-9)
+        assert fe.data_load_s == pytest.approx(ce.data_load_s, abs=1e-9)
+        assert fe.hit_ratio == pytest.approx(ce.hit_ratio, abs=1e-12)
+        assert fe.train_loss == pytest.approx(ce.train_loss, abs=1e-12)
