@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-csv examples smoke faults report all
+.PHONY: install test bench bench-csv examples smoke faults concurrency report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -32,6 +32,12 @@ report:
 	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3 \
 		--trace-dir $(REPORT_DIR)
 	$(PYTHON) -m repro report $(REPORT_DIR)
+
+# Tier-2 threaded stress tests (-m concurrency) plus the deterministic
+# scheduler/race/property suite under an increased Hypothesis budget.
+concurrency:
+	$(PYTHON) -m pytest tests/ -m concurrency
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/concurrency/
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

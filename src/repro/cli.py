@@ -76,6 +76,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--batch-size", type=int, default=64)
         p.add_argument("--cache-fraction", type=float, default=0.2)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--prefetch-workers", type=int, default=0,
+            help="prefetching loader threads (0 = serial loader); results "
+                 "are bit-identical, only data-load time overlaps",
+        )
 
     train_p = sub.add_parser("train", help="run one policy")
     train_p.add_argument("--policy", default="spidercache",
@@ -136,7 +141,11 @@ def _make_run(args, policy_name: str, observer=None):
     policy = POLICIES[policy_name](args.cache_fraction, args.seed + 3)
     trainer = Trainer(
         model, train, test, policy,
-        TrainerConfig(epochs=args.epochs, batch_size=args.batch_size),
+        TrainerConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            prefetch_workers=getattr(args, "prefetch_workers", 0),
+        ),
         observer=observer,
     )
     return trainer, policy, train
@@ -288,7 +297,11 @@ def _cmd_faults(args) -> int:
         policy = POLICIES[args.policy](args.cache_fraction, args.seed + 3)
         return ResilientTrainer(
             model, train, test, policy,
-            TrainerConfig(epochs=args.epochs, batch_size=args.batch_size),
+            TrainerConfig(
+                epochs=args.epochs,
+                batch_size=args.batch_size,
+                prefetch_workers=getattr(args, "prefetch_workers", 0),
+            ),
             checkpoint_dir=checkpoint_dir,
             checkpoint_every_batches=args.checkpoint_every,
             preemptions=preemptions,

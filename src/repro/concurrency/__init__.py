@@ -1,0 +1,30 @@
+"""Concurrency runtime and test harness (``repro.concurrency``).
+
+Two halves, one goal — making concurrent data loading safe to ship:
+
+* :mod:`~repro.concurrency.sequencer` is the *production* primitive: a
+  ticket-order commit protocol that lets a pool of worker threads overlap
+  their work while their side effects on shared state (the semantic cache,
+  the simulated clock, fetch counters) are applied in one deterministic
+  order. :class:`~repro.data.prefetch.PrefetchingDataLoader` builds on it.
+* :mod:`~repro.concurrency.scheduler` is the *test* harness: a seeded,
+  step-controlled scheduler that runs N logical workers (generators whose
+  every ``yield`` is an explicit preemption point) under a reproducible
+  interleaving. Any race found in the wild can be replayed as a failing
+  test by pinning the seed.
+"""
+
+from repro.concurrency.scheduler import (
+    CooperativeLock,
+    DeterministicScheduler,
+    SchedulerDeadlock,
+)
+from repro.concurrency.sequencer import Sequencer, SequencerAborted
+
+__all__ = [
+    "DeterministicScheduler",
+    "CooperativeLock",
+    "SchedulerDeadlock",
+    "Sequencer",
+    "SequencerAborted",
+]

@@ -1,0 +1,72 @@
+"""Ticket-order commit protocol for worker pools.
+
+The prefetching loader overlaps fetch *work* across threads but must apply
+fetch *effects* — cache probes/admissions, stat increments, simulated-clock
+charges — in sampler order, or results stop being bit-identical to the
+serial loader. :class:`Sequencer` provides that guarantee: each unit of
+work owns a slot number, and :meth:`turn` blocks until every lower slot
+has committed. The critical sections execute one at a time, in slot
+order, regardless of how the OS schedules the threads around them.
+
+A failed slot aborts the sequence: later slots raise
+:class:`SequencerAborted` instead of running, mirroring how the serial
+loop would never have reached them.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = ["Sequencer", "SequencerAborted"]
+
+
+class SequencerAborted(RuntimeError):
+    """An earlier slot failed, so this slot's turn never comes."""
+
+
+class Sequencer:
+    """Serializes critical sections into ascending slot order."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._cond = threading.Condition()
+        self._next = int(start)
+        self._aborted_at: Optional[int] = None
+
+    @property
+    def next_slot(self) -> int:
+        with self._cond:
+            return self._next
+
+    @property
+    def aborted(self) -> bool:
+        with self._cond:
+            return self._aborted_at is not None
+
+    @contextmanager
+    def turn(self, slot: int) -> Iterator[None]:
+        """Run the body when ``slot`` is next in line.
+
+        Raises :class:`SequencerAborted` (without running the body) when a
+        lower slot aborted. If the body itself raises, the sequence aborts
+        and the exception propagates.
+        """
+        with self._cond:
+            while self._next != slot and self._aborted_at is None:
+                self._cond.wait()
+            if self._aborted_at is not None and self._aborted_at <= slot:
+                raise SequencerAborted(
+                    f"slot {self._aborted_at} failed before slot {slot}"
+                )
+        try:
+            yield
+        except BaseException:
+            with self._cond:
+                self._aborted_at = slot
+                self._cond.notify_all()
+            raise
+        else:
+            with self._cond:
+                self._next = slot + 1
+                self._cond.notify_all()

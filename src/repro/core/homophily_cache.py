@@ -13,6 +13,7 @@ fostering greater diversity in the training data").
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Set, Tuple
 
@@ -25,7 +26,14 @@ __all__ = ["HomophilyCache"]
 
 
 class HomophilyCache:
-    """FIFO cache of (high-degree node, payload, neighbor-ID list)."""
+    """FIFO cache of (high-degree node, payload, neighbor-ID list).
+
+    Thread-safe: one re-entrant lock (this layer's stripe of the
+    :class:`~repro.core.semantic_cache.SemanticCache` lock set) keeps the
+    FIFO order, the neighbor cover map, and the layer stats mutually
+    consistent under concurrent loader workers. Exposed as :attr:`lock`
+    so the elastic resize can hold it across several calls.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -37,22 +45,26 @@ class HomophilyCache:
         self._neighbor_of: Dict[int, Set[int]] = {}
         self.stats = CacheStats()
         self._obs = NULL_OBSERVER
+        self.lock = threading.RLock()
 
     def attach_observer(self, observer: Observer) -> None:
         """Publish insert/evict activity to ``observer``."""
         self._obs = observer
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self.lock:
+            return len(self._entries)
 
     def __contains__(self, key: int) -> bool:
-        return key in self._entries
+        with self.lock:
+            return key in self._entries
 
     # ------------------------------------------------------------------
     def covers(self, index: int) -> bool:
         """True if ``index`` appears in any cached node's neighbor list
         (Alg. 1 line 7: ``neighbor_list.contains(index)``)."""
-        return index in self._neighbor_of or index in self._entries
+        with self.lock:
+            return index in self._neighbor_of or index in self._entries
 
     def lookup(self, index: int) -> Optional[Tuple[int, Any]]:
         """Serve ``index`` by substitution (Fig. 9 case 3).
@@ -61,20 +73,21 @@ class HomophilyCache:
         the *most recently inserted* cover, whose embedding neighborhood is
         freshest — or ``None``. Records a substitute hit or miss.
         """
-        if index in self._entries:
-            # The high-degree node itself was requested: an exact hit.
-            self.stats.hits += 1
-            return index, self._entries[index][0]
-        covers = self._neighbor_of.get(index)
-        if not covers:
-            self.stats.misses += 1
-            return None
-        # Most recent insert among the covering nodes.
-        for key in reversed(self._entries):
-            if key in covers:
-                self.stats.substitute_hits += 1
-                return key, self._entries[key][0]
-        raise AssertionError("neighbor map out of sync with entries")
+        with self.lock:
+            if index in self._entries:
+                # The high-degree node itself was requested: an exact hit.
+                self.stats.hits += 1
+                return index, self._entries[index][0]
+            covers = self._neighbor_of.get(index)
+            if not covers:
+                self.stats.misses += 1
+                return None
+            # Most recent insert among the covering nodes.
+            for key in reversed(self._entries):
+                if key in covers:
+                    self.stats.substitute_hits += 1
+                    return key, self._entries[key][0]
+            raise AssertionError("neighbor map out of sync with entries")
 
     # ------------------------------------------------------------------
     def update(self, key: int, payload: Any, neighbor_ids: List[int]) -> bool:
@@ -83,23 +96,25 @@ class HomophilyCache:
         A node already cached is skipped (the paper only inserts nodes "not
         previously in the Homophily Cache"). Returns True if inserted.
         """
-        if self.capacity == 0:
-            return False
-        key = int(key)
-        if key in self._entries:
-            return False
-        while len(self._entries) >= self.capacity:
-            self._evict_oldest("fifo")
-        neigh = tuple(int(n) for n in neighbor_ids)
-        self._entries[key] = (payload, neigh)
-        for n in neigh:
-            self._neighbor_of.setdefault(n, set()).add(key)
-        self.stats.insertions += 1
-        if self._obs.active:
-            self._obs.on_homophily_insert(key, len(neigh))
-        return True
+        with self.lock:
+            if self.capacity == 0:
+                return False
+            key = int(key)
+            if key in self._entries:
+                return False
+            while len(self._entries) >= self.capacity:
+                self._evict_oldest("fifo")
+            neigh = tuple(int(n) for n in neighbor_ids)
+            self._entries[key] = (payload, neigh)
+            for n in neigh:
+                self._neighbor_of.setdefault(n, set()).add(key)
+            self.stats.insertions += 1
+            if self._obs.active:
+                self._obs.on_homophily_insert(key, len(neigh))
+            return True
 
     def _evict_oldest(self, reason: str = "fifo") -> int:
+        # Callers hold self.lock (re-entrant).
         key, (_, neigh) = self._entries.popitem(last=False)
         for n in neigh:
             owners = self._neighbor_of.get(n)
@@ -117,32 +132,37 @@ class HomophilyCache:
         if capacity < 0:
             raise ValueError("capacity must be non-negative")
         evicted = []
-        while len(self._entries) > capacity:
-            evicted.append(self._evict_oldest("shrink"))
-        self.capacity = capacity
+        with self.lock:
+            while len(self._entries) > capacity:
+                evicted.append(self._evict_oldest("shrink"))
+            self.capacity = capacity
         return evicted
 
     def grow_to(self, capacity: int) -> None:
         """Raise capacity (no eviction needed)."""
-        if capacity < self.capacity:
-            raise ValueError("grow_to cannot shrink; use shrink_to")
-        self.capacity = capacity
+        with self.lock:
+            if capacity < self.capacity:
+                raise ValueError("grow_to cannot shrink; use shrink_to")
+            self.capacity = capacity
 
     # ------------------------------------------------------------------
     def keys(self) -> List[int]:
         """Cached high-degree node ids in FIFO order."""
-        return list(self._entries.keys())
+        with self.lock:
+            return list(self._entries.keys())
 
     def neighbor_list(self, key: int) -> Tuple[int, ...]:
         """Neighbor IDs stored with a cached node (KeyError if absent)."""
-        return self._entries[key][1]
+        with self.lock:
+            return self._entries[key][1]
 
     @property
     def covered_count(self) -> int:
         """Number of distinct sample ids currently servable (nodes + neighbors)."""
-        covered = set(self._neighbor_of)
-        covered.update(self._entries)
-        return len(covered)
+        with self.lock:
+            covered = set(self._neighbor_of)
+            covered.update(self._entries)
+            return len(covered)
 
     def newest_entry(self) -> Optional[Tuple[int, Any]]:
         """(key, payload) of the most recently inserted node, or ``None``.
@@ -151,42 +171,45 @@ class HomophilyCache:
         stand-in when degraded mode must serve *something* for an uncovered
         request.
         """
-        if not self._entries:
-            return None
-        key = next(reversed(self._entries))
-        return key, self._entries[key][0]
+        with self.lock:
+            if not self._entries:
+                return None
+            key = next(reversed(self._entries))
+            return key, self._entries[key][0]
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
         """Exact snapshot: FIFO order, payloads, neighbor lists, stats."""
-        keys = list(self._entries.keys())
-        if keys:
-            payloads = np.stack(
-                [np.asarray(self._entries[k][0]) for k in keys]
-            )
-        else:
-            payloads = np.empty((0,))
-        return {
-            "capacity": self.capacity,
-            "keys": np.asarray(keys, dtype=np.int64),
-            "payloads": payloads,
-            "neighbors": [list(self._entries[k][1]) for k in keys],
-            "stats": self.stats.state_dict(),
-        }
+        with self.lock:
+            keys = list(self._entries.keys())
+            if keys:
+                payloads = np.stack(
+                    [np.asarray(self._entries[k][0]) for k in keys]
+                )
+            else:
+                payloads = np.empty((0,))
+            return {
+                "capacity": self.capacity,
+                "keys": np.asarray(keys, dtype=np.int64),
+                "payloads": payloads,
+                "neighbors": [list(self._entries[k][1]) for k in keys],
+                "stats": self.stats.state_dict(),
+            }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore a :meth:`state_dict` snapshot (rebuilds the cover map)."""
-        self.capacity = int(state["capacity"])
-        keys = np.asarray(state["keys"], dtype=np.int64)
-        payloads = state["payloads"]
-        neighbors = state["neighbors"]
-        if len(keys) != len(neighbors):
-            raise ValueError("homophily snapshot keys/neighbors mismatch")
-        self._entries = OrderedDict()
-        self._neighbor_of = {}
-        for i, k in enumerate(keys):
-            neigh = tuple(int(n) for n in neighbors[i])
-            self._entries[int(k)] = (np.asarray(payloads[i]), neigh)
-            for n in neigh:
-                self._neighbor_of.setdefault(n, set()).add(int(k))
-        self.stats.load_state_dict(state["stats"])
+        with self.lock:
+            self.capacity = int(state["capacity"])
+            keys = np.asarray(state["keys"], dtype=np.int64)
+            payloads = state["payloads"]
+            neighbors = state["neighbors"]
+            if len(keys) != len(neighbors):
+                raise ValueError("homophily snapshot keys/neighbors mismatch")
+            self._entries = OrderedDict()
+            self._neighbor_of = {}
+            for i, k in enumerate(keys):
+                neigh = tuple(int(n) for n in neighbors[i])
+                self._entries[int(k)] = (np.asarray(payloads[i]), neigh)
+                for n in neigh:
+                    self._neighbor_of.setdefault(n, set()).add(int(k))
+            self.stats.load_state_dict(state["stats"])

@@ -9,6 +9,7 @@ score beats the current minimum (Fig. 9 cases 2 vs 4).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -21,7 +22,15 @@ __all__ = ["ImportanceCache"]
 
 
 class ImportanceCache:
-    """Score-ordered cache over an indexed min-heap."""
+    """Score-ordered cache over an indexed min-heap.
+
+    Thread-safe: one re-entrant lock (this layer's stripe of the
+    :class:`~repro.core.semantic_cache.SemanticCache` lock set) guards the
+    heap, the payload dict, and the layer stats, so concurrent loader
+    workers can never observe a heap/dict mismatch or overfill the
+    capacity. The lock is exposed as :attr:`lock` so compound operations
+    (the elastic resize) can hold it across several calls.
+    """
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
@@ -31,31 +40,36 @@ class ImportanceCache:
         self._values: Dict[int, Any] = {}
         self.stats = CacheStats()
         self._obs = NULL_OBSERVER
+        self.lock = threading.RLock()
 
     def attach_observer(self, observer: Observer) -> None:
         """Publish admission/rejection/eviction activity to ``observer``."""
         self._obs = observer
 
     def __len__(self) -> int:
-        return len(self._values)
+        with self.lock:
+            return len(self._values)
 
     def __contains__(self, key: int) -> bool:
-        return key in self._values
+        with self.lock:
+            return key in self._values
 
     def get(self, key: int) -> Optional[Any]:
         """Cached payload or ``None`` (records hit/miss)."""
-        value = self._values.get(key)
-        if value is None:
-            self.stats.misses += 1
-        else:
-            self.stats.hits += 1
-        return value
+        with self.lock:
+            value = self._values.get(key)
+            if value is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
+            return value
 
     def min_score(self) -> Optional[float]:
         """Score of the least-important resident, or ``None`` when empty."""
-        if not self._heap:
-            return None
-        return self._heap.min_priority()
+        with self.lock:
+            if not self._heap:
+                return None
+            return self._heap.min_priority()
 
     def admit(self, key: int, value: Any, score: float) -> bool:
         """Offer a freshly fetched sample (Fig. 9 cases 2/4).
@@ -64,33 +78,34 @@ class ImportanceCache:
         minimum), False if rejected for scoring below the minimum.
         """
         obs = self._obs
-        if self.capacity == 0:
-            return False
-        if key in self._values:
-            # Already resident: refresh payload and score.
-            self._values[key] = value
-            self._heap.update(key, score)
-            return True
-        if len(self._values) < self.capacity:
+        with self.lock:
+            if self.capacity == 0:
+                return False
+            if key in self._values:
+                # Already resident: refresh payload and score.
+                self._values[key] = value
+                self._heap.update(key, score)
+                return True
+            if len(self._values) < self.capacity:
+                self._heap.push(key, score)
+                self._values[key] = value
+                self.stats.insertions += 1
+                if obs.active:
+                    obs.on_admit(key, score, True, None)
+                return True
+            if score <= self._heap.min_priority():
+                if obs.active:
+                    obs.on_admit(key, score, False, None)
+                return False
+            _, evicted = self._heap.pop()
+            del self._values[evicted]
+            self.stats.evictions += 1
             self._heap.push(key, score)
             self._values[key] = value
             self.stats.insertions += 1
             if obs.active:
-                obs.on_admit(key, score, True, None)
+                obs.on_admit(key, score, True, evicted)
             return True
-        if score <= self._heap.min_priority():
-            if obs.active:
-                obs.on_admit(key, score, False, None)
-            return False
-        _, evicted = self._heap.pop()
-        del self._values[evicted]
-        self.stats.evictions += 1
-        self._heap.push(key, score)
-        self._values[key] = value
-        self.stats.insertions += 1
-        if obs.active:
-            obs.on_admit(key, score, True, evicted)
-        return True
 
     def update_score(self, key: int, score: float) -> None:
         """Refresh a resident's priority after a global-score update.
@@ -98,8 +113,9 @@ class ImportanceCache:
         No-op for absent keys (scores update for many samples per batch,
         only some of which are cached).
         """
-        if key in self._values:
-            self._heap.update(key, score)
+        with self.lock:
+            if key in self._values:
+                self._heap.update(key, score)
 
     def shrink_to(self, capacity: int) -> List[int]:
         """Reduce capacity, evicting least-important residents first.
@@ -111,29 +127,33 @@ class ImportanceCache:
             raise ValueError("capacity must be non-negative")
         obs = self._obs
         evicted = []
-        while len(self._values) > capacity:
-            _, key = self._heap.pop()
-            del self._values[key]
-            self.stats.evictions += 1
-            if obs.active:
-                obs.on_evict("importance", key, "shrink")
-            evicted.append(key)
-        self.capacity = capacity
+        with self.lock:
+            while len(self._values) > capacity:
+                _, key = self._heap.pop()
+                del self._values[key]
+                self.stats.evictions += 1
+                if obs.active:
+                    obs.on_evict("importance", key, "shrink")
+                evicted.append(key)
+            self.capacity = capacity
         return evicted
 
     def grow_to(self, capacity: int) -> None:
         """Raise capacity (no eviction needed)."""
-        if capacity < self.capacity:
-            raise ValueError("grow_to cannot shrink; use shrink_to")
-        self.capacity = capacity
+        with self.lock:
+            if capacity < self.capacity:
+                raise ValueError("grow_to cannot shrink; use shrink_to")
+            self.capacity = capacity
 
     def keys(self) -> List[int]:
         """Resident sample ids (arbitrary order)."""
-        return list(self._values.keys())
+        with self.lock:
+            return list(self._values.keys())
 
     def scores_snapshot(self) -> List[Tuple[int, float]]:
         """(key, score) for all residents (diagnostics)."""
-        return [(k, self._heap.priority(k)) for k in self._values]
+        with self.lock:
+            return [(k, self._heap.priority(k)) for k in self._values]
 
     def peek_min(self) -> Optional[Tuple[int, Any]]:
         """(key, payload) of the least-important resident, or ``None``.
@@ -141,10 +161,11 @@ class ImportanceCache:
         Degraded-mode serving uses this as a deterministic last-resort
         substitute source when the remote tier is down.
         """
-        if not self._heap:
-            return None
-        _, key = self._heap.peek()
-        return key, self._values[key]
+        with self.lock:
+            if not self._heap:
+                return None
+            _, key = self._heap.peek()
+            return key, self._values[key]
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
@@ -154,26 +175,30 @@ class ImportanceCache:
         keeps its array layout and tie-break counters so eviction order
         after a restore matches an uninterrupted run bit-for-bit.
         """
-        keys = list(self._values.keys())
-        if keys:
-            payloads = np.stack([np.asarray(self._values[k]) for k in keys])
-        else:
-            payloads = np.empty((0,))
-        return {
-            "capacity": self.capacity,
-            "keys": np.asarray(keys, dtype=np.int64),
-            "payloads": payloads,
-            "heap": self._heap.state_dict(),
-            "stats": self.stats.state_dict(),
-        }
+        with self.lock:
+            keys = list(self._values.keys())
+            if keys:
+                payloads = np.stack([np.asarray(self._values[k]) for k in keys])
+            else:
+                payloads = np.empty((0,))
+            return {
+                "capacity": self.capacity,
+                "keys": np.asarray(keys, dtype=np.int64),
+                "payloads": payloads,
+                "heap": self._heap.state_dict(),
+                "stats": self.stats.state_dict(),
+            }
 
     def load_state_dict(self, state: Dict[str, Any]) -> None:
         """Restore a :meth:`state_dict` snapshot."""
-        self.capacity = int(state["capacity"])
-        keys = np.asarray(state["keys"], dtype=np.int64)
-        payloads = state["payloads"]
-        self._values = {int(k): np.asarray(payloads[i]) for i, k in enumerate(keys)}
-        self._heap.load_state_dict(state["heap"])
-        if set(self._heap.keys()) != set(self._values):
-            raise ValueError("importance-cache snapshot heap/value mismatch")
-        self.stats.load_state_dict(state["stats"])
+        with self.lock:
+            self.capacity = int(state["capacity"])
+            keys = np.asarray(state["keys"], dtype=np.int64)
+            payloads = state["payloads"]
+            self._values = {
+                int(k): np.asarray(payloads[i]) for i, k in enumerate(keys)
+            }
+            self._heap.load_state_dict(state["heap"])
+            if set(self._heap.keys()) != set(self._values):
+                raise ValueError("importance-cache snapshot heap/value mismatch")
+            self.stats.load_state_dict(state["stats"])

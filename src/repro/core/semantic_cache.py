@@ -16,6 +16,7 @@ batch's top-degree node (:meth:`update_homophily`).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from enum import Enum
 from math import floor
@@ -120,6 +121,13 @@ class SemanticCache:
 
     ``imp_ratio`` splits ``total_capacity`` between the layers; the Elastic
     Cache Manager adjusts it at runtime via :meth:`set_imp_ratio`.
+
+    Thread-safety is lock-striped: each layer owns a re-entrant lock
+    guarding its heap/FIFO and per-layer stats, and this composite adds a
+    third stripe for the aggregate counters (``stats``/``degraded``). A
+    fetch never holds two stripes at once; the elastic resize acquires
+    both layer stripes in a fixed order (importance → homophily), so the
+    lock graph is acyclic and deadlock-free.
     """
 
     def __init__(self, total_capacity: int, imp_ratio: float = 0.9) -> None:
@@ -133,6 +141,7 @@ class SemanticCache:
         self.importance = ImportanceCache(imp_cap)
         self.homophily = HomophilyCache(self.total_capacity - imp_cap)
         self.stats = CacheStats()  # aggregate over both layers
+        self._stats_lock = threading.Lock()  # aggregate-counter stripe
         # Degraded-mode serving: exception types from ``remote_get`` that
         # trigger widened substitution instead of propagating. Empty by
         # default — plain runs keep strict fail-on-error semantics.
@@ -163,15 +172,19 @@ class SemanticCache:
         """
         if not 0.0 <= ratio <= 1.0:
             raise ValueError("imp_ratio must be in [0, 1]")
-        self._imp_ratio = float(ratio)
-        imp_cap = split_capacity(self.total_capacity, ratio)
-        hom_cap = self.total_capacity - imp_cap
-        if imp_cap < self.importance.capacity:
-            self.importance.shrink_to(imp_cap)
-            self.homophily.grow_to(hom_cap)
-        elif imp_cap > self.importance.capacity:
-            self.homophily.shrink_to(hom_cap)
-            self.importance.grow_to(imp_cap)
+        # Hold both layer stripes (fixed order) so a concurrent fetch never
+        # observes the split mid-move and the capacities always sum to the
+        # total budget.
+        with self.importance.lock, self.homophily.lock:
+            self._imp_ratio = float(ratio)
+            imp_cap = split_capacity(self.total_capacity, ratio)
+            hom_cap = self.total_capacity - imp_cap
+            if imp_cap < self.importance.capacity:
+                self.importance.shrink_to(imp_cap)
+                self.homophily.grow_to(hom_cap)
+            elif imp_cap > self.importance.capacity:
+                self.homophily.shrink_to(hom_cap)
+                self.importance.grow_to(imp_cap)
 
     # ------------------------------------------------------------------
     def fetch(
@@ -189,7 +202,8 @@ class SemanticCache:
         obs = self._obs
         payload = self.importance.get(index)
         if payload is not None:
-            self.stats.hits += 1
+            with self._stats_lock:
+                self.stats.hits += 1
             if obs.active:
                 obs.on_fetch(index, index, FetchSource.IMPORTANCE)
             return FetchOutcome(index, index, payload, FetchSource.IMPORTANCE)
@@ -197,10 +211,11 @@ class SemanticCache:
         sub = self.homophily.lookup(index)
         if sub is not None:
             node_key, node_payload = sub
-            if node_key == index:
-                self.stats.hits += 1
-            else:
-                self.stats.substitute_hits += 1
+            with self._stats_lock:
+                if node_key == index:
+                    self.stats.hits += 1
+                else:
+                    self.stats.substitute_hits += 1
             if obs.active:
                 obs.on_fetch(index, node_key, FetchSource.HOMOPHILY)
             return FetchOutcome(index, node_key, node_payload, FetchSource.HOMOPHILY)
@@ -208,9 +223,11 @@ class SemanticCache:
         try:
             payload = remote_get(index)
         except self.degrade_on:
-            self.degraded.errors_absorbed += 1
+            with self._stats_lock:
+                self.degraded.errors_absorbed += 1
             return self._degraded_fetch(index)
-        self.stats.misses += 1
+        with self._stats_lock:
+            self.stats.misses += 1
         if obs.active:
             obs.on_fetch(index, index, FetchSource.REMOTE)
         self.importance.admit(index, payload, score)
@@ -257,8 +274,9 @@ class SemanticCache:
         node = self.homophily.newest_entry()
         if node is not None:
             key, payload = node
-            self.stats.degraded_serves += 1
-            self.degraded.substituted_homophily += 1
+            with self._stats_lock:
+                self.stats.degraded_serves += 1
+                self.degraded.substituted_homophily += 1
             if obs.active:
                 obs.on_degraded(index, key)
                 obs.on_fetch(index, key, FetchSource.DEGRADED)
@@ -266,14 +284,16 @@ class SemanticCache:
         resident = self.importance.peek_min()
         if resident is not None:
             key, payload = resident
-            self.stats.degraded_serves += 1
-            self.degraded.substituted_importance += 1
+            with self._stats_lock:
+                self.stats.degraded_serves += 1
+                self.degraded.substituted_importance += 1
             if obs.active:
                 obs.on_degraded(index, key)
                 obs.on_fetch(index, key, FetchSource.DEGRADED)
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
-        self.stats.misses += 1
-        self.degraded.skipped += 1
+        with self._stats_lock:
+            self.stats.misses += 1
+            self.degraded.skipped += 1
         if obs.active:
             obs.on_degraded(index, None)
             obs.on_fetch(index, index, FetchSource.SKIPPED)

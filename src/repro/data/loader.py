@@ -8,8 +8,9 @@ into arrays for the model.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -58,7 +59,10 @@ class DataLoader:
         self.batch_size = int(batch_size)
         # Samples dropped by degraded-mode serving (payload-less outcomes
         # with source SKIPPED); batches shrink rather than the run crashing.
+        # The ``+=`` below is a read-modify-write — guarded so concurrent
+        # collates (prefetch workers) can't lose updates.
         self.skipped_count = 0
+        self._skip_lock = threading.Lock()
 
     def collate(self, ids: np.ndarray) -> Optional[Batch]:
         """Fetch and collate one batch worth of sample ids.
@@ -68,8 +72,15 @@ class DataLoader:
         """
         ids = np.asarray(ids, dtype=np.int64)
         outcomes = [self.fetch_fn(int(i)) for i in ids]
+        return self._collate_outcomes(outcomes)
+
+    def _collate_outcomes(self, outcomes: Sequence["FetchOutcome"]) -> Optional[Batch]:
+        """Drop payload-less outcomes, count skips, stack the rest."""
         kept = [o for o in outcomes if o.payload is not None]
-        self.skipped_count += len(outcomes) - len(kept)
+        skipped = len(outcomes) - len(kept)
+        if skipped:
+            with self._skip_lock:
+                self.skipped_count += skipped
         if not kept:
             return None
         served = np.asarray([o.served_id for o in kept], dtype=np.int64)

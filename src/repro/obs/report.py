@@ -62,6 +62,10 @@ class EpochAggregate:
     n_batches: int = 0
     n_samples: int = 0
     remote_latency_s: float = 0.0
+    prefetch_latency_s: float = 0.0  # importance-prefetch slice of the above
+    prefetch_windows: int = 0  # overlapped windows (prefetching loader)
+    overlap_charged_s: float = 0.0  # max-of-window charges actually paid
+    overlap_saved_s: float = 0.0  # serial sum minus charged
     hit_serves: int = 0  # serves charged the in-memory hit latency
     compute_s: float = 0.0
     preprocess_s: float = 0.0
@@ -112,6 +116,7 @@ def aggregate_trace(
     if isinstance(events, (str, Path)):
         events = read_jsonl(events)
     per_epoch: Dict[int, EpochAggregate] = {}
+    prefetch_workers = 0
 
     def agg(epoch: int) -> EpochAggregate:
         a = per_epoch.get(epoch)
@@ -126,6 +131,8 @@ def aggregate_trace(
                 io_workers = int(ev["io_workers"])
             if hit_latency_s is None and "hit_latency_s" in ev:
                 hit_latency_s = float(ev["hit_latency_s"])
+            if "prefetch_workers" in ev:
+                prefetch_workers = int(ev["prefetch_workers"])
             continue
         a = agg(int(ev.get("epoch", -1)))
         if kind == "fetch":
@@ -151,6 +158,11 @@ def aggregate_trace(
         elif kind == "prefetch":
             a.prefetches += 1
             a.remote_latency_s += float(ev.get("latency_s", 0.0))
+            a.prefetch_latency_s += float(ev.get("latency_s", 0.0))
+        elif kind == "prefetch_window":
+            a.prefetch_windows += 1
+            a.overlap_charged_s += float(ev.get("charged_s", 0.0))
+            a.overlap_saved_s += float(ev.get("saved_s", 0.0))
         elif kind == "batch":
             a.n_batches += 1
             a.n_samples += int(ev.get("size", 0))
@@ -158,11 +170,19 @@ def aggregate_trace(
             a.preprocess_s += float(ev.get("preprocess_s", 0.0))
             a.is_visible_s += float(ev.get("is_visible_s", 0.0))
 
-    workers = io_workers if io_workers else 1
+    # Prefetch runs replace the io_workers divisor with max-of-window
+    # accounting (mirrors Trainer._run_epoch's load_div); the raw stage
+    # total those runs paid is the windows' charged time plus whatever
+    # was charged outside a window (importance prefetches).
+    workers = 1 if prefetch_workers > 0 else (io_workers if io_workers else 1)
     hit_lat = hit_latency_s if hit_latency_s is not None else 0.0
     out = [per_epoch[e] for e in sorted(per_epoch) if e >= 0]
     for a in out:
-        a.data_load_s = a.remote_latency_s / workers + a.hit_serves * hit_lat
+        if a.prefetch_windows:
+            raw = a.overlap_charged_s + a.prefetch_latency_s
+        else:
+            raw = a.remote_latency_s / workers
+        a.data_load_s = raw + a.hit_serves * hit_lat
     return out
 
 
@@ -268,6 +288,14 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
     if degraded or skipped:
         lines.append(f"degraded serving: {degraded} substituted, {skipped} skipped "
                      "(excluded from hit ratios)")
+    windows = [e for e in events if e.get("kind") == "prefetch_window"]
+    if windows:
+        charged = sum(float(e.get("charged_s", 0.0)) for e in windows)
+        saved = sum(float(e.get("saved_s", 0.0)) for e in windows)
+        lines.append(
+            f"prefetch overlap: {len(windows)} window(s), "
+            f"charged {charged:.3f}s, saved {saved:.3f}s"
+        )
 
     restores = by_kind.get("restore", 0)
     if restores:

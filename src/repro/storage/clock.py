@@ -4,14 +4,42 @@ The paper splits training time into Data Loading / Preprocessing /
 Computation (Fig. 2) and later Stage1 / Stage2 / IS (§5). ``SimClock``
 accumulates simulated seconds per named stage so experiments can report both
 breakdowns (Fig. 3(a), Table 1) and end-to-end totals (Table 4).
+
+Thread-safety: the clock is shared by every component of a run — the
+remote store charges it from whatever thread performs a fetch. With the
+concurrent prefetching loader, that means real worker threads, so every
+read-modify-write on the per-stage totals is guarded by a lock
+(``advance``'s unguarded ``+=`` was a lost-update race;
+``tests/concurrency`` replays it deterministically).
+
+Two primitives support overlapped accounting (Fig. 12's pipelining):
+
+* :meth:`advance_parallel` charges ``max(durations)`` for a window of
+  concurrent operations — the window takes as long as its slowest member,
+  not the sum;
+* :meth:`deferred` captures this thread's charges to one stage into a
+  buffer instead of the totals, so a loader can re-account a window of
+  individually-charged fetches through :meth:`advance_parallel`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
-from typing import Dict
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator
 
-__all__ = ["SimClock"]
+__all__ = ["SimClock", "DeferredCharge"]
+
+
+class DeferredCharge:
+    """Accumulator for charges captured by :meth:`SimClock.deferred`."""
+
+    __slots__ = ("stage", "seconds")
+
+    def __init__(self, stage: str) -> None:
+        self.stage = stage
+        self.seconds = 0.0
 
 
 class SimClock:
@@ -19,47 +47,109 @@ class SimClock:
 
     def __init__(self) -> None:
         self._stage_s: Dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
+        self._deferral = threading.local()  # per-thread capture stacks
+
+    # ------------------------------------------------------------------
+    def _deferral_stacks(self) -> Dict[str, list]:
+        stacks = getattr(self._deferral, "stacks", None)
+        if stacks is None:
+            stacks = self._deferral.stacks = {}
+        return stacks
 
     def advance(self, stage: str, seconds: float) -> None:
         """Charge ``seconds`` of simulated time to ``stage``."""
         if seconds < 0:
             raise ValueError("cannot advance the clock backwards")
-        self._stage_s[stage] += seconds
+        stack = self._deferral_stacks().get(stage)
+        if stack:
+            stack[-1].seconds += seconds
+            return
+        with self._lock:
+            self._stage_s[stage] += seconds
 
+    def advance_parallel(self, stage: str, durations: Iterable[float]) -> float:
+        """Charge one *overlapped* window of concurrent durations.
+
+        ``durations`` are the individual costs of operations that ran
+        concurrently; the window's wall time is their maximum, which is
+        what gets charged. Returns the charged seconds (0.0 for an empty
+        window).
+        """
+        durations = [float(d) for d in durations]
+        if any(d < 0 for d in durations):
+            raise ValueError("cannot advance the clock backwards")
+        if not durations:
+            return 0.0
+        charge = max(durations)
+        self.advance(stage, charge)
+        return charge
+
+    @contextmanager
+    def deferred(self, stage: str) -> Iterator[DeferredCharge]:
+        """Capture this thread's charges to ``stage`` instead of totals.
+
+        Charges issued by the *current thread* to ``stage`` inside the
+        scope accumulate in the yielded :class:`DeferredCharge` rather
+        than the clock; the caller decides how to re-account them
+        (typically via :meth:`advance_parallel` over a window of cells).
+        Scopes nest (innermost wins) and never affect other threads or
+        other stages.
+        """
+        stacks = self._deferral_stacks()
+        cell = DeferredCharge(stage)
+        stack = stacks.setdefault(stage, [])
+        stack.append(cell)
+        try:
+            yield cell
+        finally:
+            stack.pop()
+            if not stack:
+                del stacks[stage]
+
+    # ------------------------------------------------------------------
     def stage_seconds(self, stage: str) -> float:
         """Accumulated seconds for one stage (0 if never charged)."""
-        return self._stage_s.get(stage, 0.0)
+        with self._lock:
+            return self._stage_s.get(stage, 0.0)
 
     @property
     def total_seconds(self) -> float:
-        return sum(self._stage_s.values())
+        with self._lock:
+            return sum(self._stage_s.values())
 
     def breakdown(self) -> Dict[str, float]:
         """Copy of per-stage totals."""
-        return dict(self._stage_s)
+        with self._lock:
+            return dict(self._stage_s)
 
     def fractions(self) -> Dict[str, float]:
         """Per-stage fraction of total time (empty dict if nothing elapsed)."""
-        total = self.total_seconds
+        snap = self.breakdown()
+        total = sum(snap.values())
         if total <= 0:
             return {}
-        return {k: v / total for k, v in self._stage_s.items()}
+        return {k: v / total for k, v in snap.items()}
 
     def reset(self) -> None:
         """Zero all stages."""
-        self._stage_s.clear()
+        with self._lock:
+            self._stage_s.clear()
 
     def state_dict(self) -> Dict[str, float]:
         """Serializable snapshot of per-stage totals (for checkpoints)."""
-        return dict(self._stage_s)
+        return self.breakdown()
 
     def load_state_dict(self, state: Dict[str, float]) -> None:
         """Replace accumulated time with a :meth:`state_dict` snapshot."""
-        self._stage_s.clear()
-        for stage, secs in state.items():
-            self._stage_s[str(stage)] = float(secs)
+        with self._lock:
+            self._stage_s.clear()
+            for stage, secs in state.items():
+                self._stage_s[str(stage)] = float(secs)
 
     def merge(self, other: "SimClock") -> None:
         """Add another clock's accumulated time into this one."""
-        for stage, secs in other.breakdown().items():
-            self._stage_s[stage] += secs
+        snap = other.breakdown()
+        with self._lock:
+            for stage, secs in snap.items():
+                self._stage_s[stage] += secs

@@ -1,0 +1,117 @@
+"""Real-thread stress tests for the lock-striped SemanticCache.
+
+Unlike the sequenced property tests, these run *unordered* concurrent
+operations — outcomes are nondeterministic, but the conservation
+invariants must survive any interleaving: no lost stat updates, no
+capacity overflow, no heap/dict divergence, no exceptions.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.semantic_cache import SemanticCache
+
+pytestmark = pytest.mark.concurrency
+
+N_THREADS = 8
+OPS_PER_THREAD = 400
+
+
+def _payload(i):
+    return np.full(3, float(i))
+
+
+def test_unordered_hammer_preserves_conservation():
+    cache = SemanticCache(total_capacity=16, imp_ratio=0.5)
+    barrier = threading.Barrier(N_THREADS)
+    rngs = [np.random.default_rng(1000 + t) for t in range(N_THREADS)]
+
+    def hammer(t):
+        rng = rngs[t]
+        barrier.wait()  # maximize overlap
+        for k in range(OPS_PER_THREAD):
+            roll = rng.random()
+            idx = int(rng.integers(0, 48))
+            if roll < 0.70:
+                out = cache.fetch(idx, float(rng.random()), _payload)
+                assert out.payload is not None
+            elif roll < 0.90:
+                neighbors = [int(n) for n in rng.integers(0, 48, size=3)]
+                cache.update_homophily(idx, _payload(idx), neighbors)
+            else:
+                cache.set_imp_ratio(float(rng.random()))
+
+    with ThreadPoolExecutor(max_workers=N_THREADS) as pool:
+        for f in [pool.submit(hammer, t) for t in range(N_THREADS)]:
+            f.result()  # re-raises any worker exception
+
+    s = cache.stats
+    # No lost aggregate updates: every fetch incremented exactly one bucket.
+    total_fetches = s.hits + s.misses + s.substitute_hits
+    expected = sum(
+        1 for rng in [np.random.default_rng(1000 + t) for t in range(N_THREADS)]
+        for _ in range(OPS_PER_THREAD) if _roll_is_fetch(rng)
+    )
+    assert total_fetches == expected
+    assert s.degraded_serves == 0
+
+    imp = cache.importance
+    assert imp.stats.insertions - imp.stats.evictions == len(imp)
+    assert len(imp) <= imp.capacity
+    assert len(cache.homophily) <= cache.homophily.capacity
+    assert imp.capacity + cache.homophily.capacity == cache.total_capacity
+    # Heap and payload dict still agree.
+    assert sorted(imp.keys()) == sorted(k for k, _ in imp.scores_snapshot())
+    if len(imp):
+        assert imp.min_score() == min(sc for _, sc in imp.scores_snapshot())
+
+
+def _roll_is_fetch(rng):
+    """Replay one hammer iteration's RNG draws; True if it was a fetch."""
+    roll = rng.random()
+    int(rng.integers(0, 48))
+    if roll < 0.70:
+        rng.random()  # score draw
+        return True
+    if roll < 0.90:
+        rng.integers(0, 48, size=3)
+        return False
+    rng.random()  # ratio draw
+    return False
+
+
+def test_resize_storm_against_fetchers():
+    """Elastic resizes racing fetches never break the capacity budget."""
+    cache = SemanticCache(total_capacity=12, imp_ratio=0.5)
+    stop = threading.Event()
+    errors = []
+
+    def fetcher(seed):
+        rng = np.random.default_rng(seed)
+        try:
+            while not stop.is_set():
+                cache.fetch(int(rng.integers(0, 64)), float(rng.random()),
+                            _payload)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    def resizer():
+        ratios = [0.0, 0.25, 0.5, 0.75, 1.0]
+        for i in range(300):
+            cache.set_imp_ratio(ratios[i % len(ratios)])
+        stop.set()
+
+    threads = [threading.Thread(target=fetcher, args=(s,)) for s in range(4)]
+    threads.append(threading.Thread(target=resizer))
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    assert not errors
+    imp, hom = cache.importance, cache.homophily
+    assert imp.capacity + hom.capacity == cache.total_capacity
+    assert len(imp) <= imp.capacity and len(hom) <= hom.capacity
+    assert imp.stats.insertions - imp.stats.evictions == len(imp)

@@ -1,0 +1,199 @@
+"""SimClock/DataLoader race regressions.
+
+The deterministic tests replay (via :class:`DeterministicScheduler`) the
+exact read-modify-write interleaving that made the *pre-fix*
+``SimClock.advance`` and ``DataLoader.skipped_count`` lose updates; the
+threaded tests hammer the fixed, locked implementations with real threads
+and assert exact totals.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.concurrency import DeterministicScheduler
+from repro.core.semantic_cache import FetchOutcome, FetchSource
+from repro.data.loader import DataLoader
+from repro.storage.clock import SimClock
+
+
+# ---------------------------------------------------------------------------
+# Deterministic replay of the pre-fix lost-update race
+
+
+def _racy_advance(clock, stage, seconds):
+    """The pre-fix ``advance`` body, with the RMW split at a yield.
+
+    ``self._stage_s[stage] += seconds`` compiles to a read, an add, and a
+    store; a thread switch between read and store loses the other
+    thread's update. The generator makes that window an explicit
+    preemption point so the scheduler can (deterministically) hit it.
+    """
+    tmp = clock._stage_s[stage]  # read
+    yield  # the OS could preempt here
+    clock._stage_s[stage] = tmp + seconds  # store
+
+
+def _find_losing_seed(n_workers=2, n_advances=4):
+    for seed in range(300):
+        clock = SimClock()
+
+        def worker():
+            for _ in range(n_advances):
+                yield from _racy_advance(clock, "data_load", 1.0)
+                yield
+
+        sched = DeterministicScheduler(seed=seed)
+        for _ in range(n_workers):
+            sched.spawn(worker)
+        sched.run()
+        if clock.stage_seconds("data_load") < n_workers * n_advances:
+            return seed
+    return None
+
+
+def test_prefix_advance_race_replays_deterministically():
+    """A seeded interleaving loses clock time — and does so on every replay."""
+    seed = _find_losing_seed()
+    assert seed is not None, "no interleaving exposed the RMW race"
+    totals = set()
+    for _ in range(3):
+        clock = SimClock()
+
+        def worker():
+            for _ in range(4):
+                yield from _racy_advance(clock, "data_load", 1.0)
+                yield
+
+        sched = DeterministicScheduler(seed=seed)
+        sched.spawn(worker)
+        sched.spawn(worker)
+        sched.run()
+        totals.add(clock.stage_seconds("data_load"))
+    assert len(totals) == 1
+    assert totals.pop() < 8.0  # updates were lost, reproducibly
+
+
+def test_prefix_skipped_count_race_replays_deterministically():
+    """Same RMW shape on ``DataLoader.skipped_count`` (the second fix)."""
+
+    def racy_count(loader, skipped):
+        tmp = loader.skipped_count
+        yield
+        loader.skipped_count = tmp + skipped
+
+    losing = None
+    for seed in range(300):
+        loader = DataLoader(np.zeros(8, dtype=np.int64), fetch_fn=None)
+
+        def worker():
+            for _ in range(4):
+                yield from racy_count(loader, 1)
+                yield
+
+        sched = DeterministicScheduler(seed=seed)
+        sched.spawn(worker)
+        sched.spawn(worker)
+        sched.run()
+        if loader.skipped_count < 8:
+            losing = seed
+            break
+    assert losing is not None
+
+
+# ---------------------------------------------------------------------------
+# The fixed implementations are exact under real threads
+
+
+def test_locked_advance_exact_under_threads():
+    clock = SimClock()
+
+    def hammer():
+        for _ in range(1000):
+            clock.advance("data_load", 0.5)
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for f in [pool.submit(hammer) for _ in range(8)]:
+            f.result()
+    assert clock.stage_seconds("data_load") == pytest.approx(8 * 1000 * 0.5)
+
+
+def test_locked_skip_count_exact_under_threads():
+    loader = DataLoader(np.zeros(8, dtype=np.int64), fetch_fn=None)
+    skipped = FetchOutcome(0, 0, None, FetchSource.SKIPPED)
+
+    def hammer():
+        for _ in range(500):
+            assert loader._collate_outcomes([skipped]) is None
+
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        for f in [pool.submit(hammer) for _ in range(8)]:
+            f.result()
+    assert loader.skipped_count == 8 * 500
+
+
+# ---------------------------------------------------------------------------
+# advance_parallel / deferred semantics
+
+
+def test_advance_parallel_charges_window_max():
+    clock = SimClock()
+    charged = clock.advance_parallel("data_load", [0.2, 0.9, 0.4])
+    assert charged == pytest.approx(0.9)
+    assert clock.stage_seconds("data_load") == pytest.approx(0.9)
+
+
+def test_advance_parallel_empty_and_negative():
+    clock = SimClock()
+    assert clock.advance_parallel("data_load", []) == 0.0
+    assert clock.total_seconds == 0.0
+    with pytest.raises(ValueError):
+        clock.advance_parallel("data_load", [0.1, -0.1])
+
+
+def test_deferred_captures_instead_of_charging():
+    clock = SimClock()
+    with clock.deferred("data_load") as cell:
+        clock.advance("data_load", 1.5)
+        clock.advance("data_load", 0.5)
+        clock.advance("compute", 2.0)  # other stages charge normally
+    assert cell.seconds == pytest.approx(2.0)
+    assert clock.stage_seconds("data_load") == 0.0
+    assert clock.stage_seconds("compute") == pytest.approx(2.0)
+    clock.advance("data_load", 1.0)  # capture scope is over
+    assert clock.stage_seconds("data_load") == pytest.approx(1.0)
+
+
+def test_deferred_nests_innermost_wins():
+    clock = SimClock()
+    with clock.deferred("s") as outer:
+        clock.advance("s", 1.0)
+        with clock.deferred("s") as inner:
+            clock.advance("s", 2.0)
+        clock.advance("s", 4.0)
+    assert inner.seconds == pytest.approx(2.0)
+    assert outer.seconds == pytest.approx(5.0)
+    assert clock.stage_seconds("s") == 0.0
+
+
+def test_deferred_is_thread_local():
+    clock = SimClock()
+    started = threading.Event()
+    release = threading.Event()
+
+    def other_thread():
+        started.set()
+        release.wait(timeout=5)
+        clock.advance("s", 3.0)  # must NOT land in main thread's cell
+
+    t = threading.Thread(target=other_thread)
+    with clock.deferred("s") as cell:
+        t.start()
+        started.wait(timeout=5)
+        clock.advance("s", 1.0)
+        release.set()
+        t.join(timeout=5)
+    assert cell.seconds == pytest.approx(1.0)
+    assert clock.stage_seconds("s") == pytest.approx(3.0)

@@ -1,0 +1,30 @@
+"""Golden regression test for the ``repro report`` CLI.
+
+The fixture under ``fixtures/golden-run/`` is a checked-in artifact set
+from a small traced prefetching run (``repro train --policy spidercache
+--samples 120 --epochs 2 --batch-size 32 --prefetch-workers 3 --seed 7
+--trace-dir ...``); ``golden-report.txt`` is the report it rendered at
+the time. Any change to the report layout, the trace aggregation, or the
+consistency check shows up here as a diff — update the golden file
+deliberately, with the rendered output, when the change is intended.
+"""
+
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_report_cli_matches_golden_fixture(capsys):
+    assert main(["report", str(FIXTURES / "golden-run")]) == 0
+    out = capsys.readouterr().out
+    golden = (FIXTURES / "golden-report.txt").read_text()
+    assert out.splitlines() == golden.splitlines()
+
+
+def test_golden_fixture_consistency_check_passes():
+    """The checked-in prefetch trace reconciles with its epoch metrics."""
+    golden = (FIXTURES / "golden-report.txt").read_text()
+    assert "trace vs per-epoch metrics: OK" in golden
+    assert "prefetch overlap:" in golden

@@ -18,12 +18,14 @@ def build_run():
     — the property the exact-recovery assertions need.
     """
 
-    def _build(cls=Trainer, epochs=3, n_samples=160, batch_size=16, **kw):
+    def _build(cls=Trainer, epochs=3, n_samples=160, batch_size=16,
+               prefetch_workers=0, **kw):
         data = make_dataset("cifar10-like", rng=0, n_samples=n_samples)
         train, test = train_test_split(data, test_fraction=0.25, rng=1)
         model = build_model("resnet18", train.dim, train.num_classes, rng=2)
         policy = SpiderCachePolicy(cache_fraction=0.2, rng=3)
-        cfg = TrainerConfig(epochs=epochs, batch_size=batch_size)
+        cfg = TrainerConfig(epochs=epochs, batch_size=batch_size,
+                            prefetch_workers=prefetch_workers)
         return cls(model, train, test, policy, cfg, **kw), model, policy
 
     return _build
