@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-csv examples smoke faults concurrency report all
+.PHONY: install test coverage bench bench-csv examples smoke faults concurrency dist report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -12,6 +12,12 @@ install:
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1 suite with the CI coverage gate (needs pytest-cov from [dev]).
+coverage:
+	$(PYTHON) -m pytest tests/ \
+		--cov=repro --cov-report=term-missing:skip-covered \
+		--cov-fail-under=80
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -38,6 +44,14 @@ report:
 concurrency:
 	$(PYTHON) -m pytest tests/ -m concurrency
 	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/concurrency/
+
+# Sharded cache-service suite (differential oracle, interleavings,
+# shard faults) under the increased Hypothesis budget, plus a sharded
+# shared-cache smoke run.
+dist:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/dist/
+	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3 \
+		--world-size 2 --shared-cache --cache-shards 2
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

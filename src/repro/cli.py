@@ -90,6 +90,20 @@ def _build_parser() -> argparse.ArgumentParser:
         help="record a structured trace and export run artifacts "
              "(trace.jsonl, epochs.jsonl, summary.json) to this directory",
     )
+    train_p.add_argument(
+        "--world-size", type=int, default=1,
+        help="data-parallel worker count (>1 uses DataParallelTrainer)",
+    )
+    train_p.add_argument(
+        "--shared-cache", action="store_true",
+        help="multi-worker runs share ONE logical cache instead of "
+             "per-worker caches",
+    )
+    train_p.add_argument(
+        "--cache-shards", type=int, default=0,
+        help="partition the shared cache across this many shard servers "
+             "behind simulated RPC (requires --shared-cache)",
+    )
     add_common(train_p)
 
     report_p = sub.add_parser(
@@ -167,7 +181,45 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _make_dp_run(args, policy_name: str, observer=None):
+    """Build a DataParallelTrainer for ``--world-size > 1`` (or
+    ``--shared-cache``) train invocations."""
+    from repro.train.data_parallel import DataParallelTrainer
+
+    data = make_dataset(args.preset, rng=args.seed, n_samples=args.samples)
+    train, test = train_test_split(data, test_fraction=0.25, rng=args.seed + 1)
+
+    def model_factory():
+        # Fresh rng per call: every replica starts from identical weights.
+        return build_model(args.model, train.dim, train.num_classes,
+                           rng=args.seed + 2)
+
+    def policy_factory(rank: int):
+        seed = args.seed + 3 if args.shared_cache else args.seed + 3 + rank
+        return POLICIES[policy_name](args.cache_fraction, seed)
+
+    return DataParallelTrainer(
+        model_factory, train, test, policy_factory,
+        world_size=args.world_size,
+        config=TrainerConfig(
+            epochs=args.epochs,
+            batch_size=args.batch_size,
+            prefetch_workers=getattr(args, "prefetch_workers", 0),
+            shared_cache=args.shared_cache,
+            cache_shards=args.cache_shards,
+        ),
+        observer=observer,
+        rng=args.seed + 4,
+    )
+
+
 def _cmd_train(args) -> int:
+    if args.cache_shards and not args.shared_cache:
+        print("--cache-shards requires --shared-cache", file=sys.stderr)
+        return 2
+    if args.shared_cache and args.world_size < 2:
+        print("--shared-cache requires --world-size >= 2", file=sys.stderr)
+        return 2
     observer = None
     recorder = None
     registry = None
@@ -182,7 +234,10 @@ def _cmd_train(args) -> int:
         recorder = JsonlRecorder(out / TRACE_FILE)
         registry = MetricsRegistry()
         observer = Observer(recorder=recorder, metrics=registry)
-    trainer, policy, _ = _make_run(args, args.policy, observer=observer)
+    if args.world_size > 1:
+        trainer = _make_dp_run(args, args.policy, observer=observer)
+    else:
+        trainer, policy, _ = _make_run(args, args.policy, observer=observer)
     result = trainer.run()
     print(f"{'epoch':>5} {'acc':>7} {'hit':>6} {'subst':>6} {'time':>7}")
     for e in result.epochs:
@@ -209,6 +264,9 @@ def _cmd_train(args) -> int:
                 "epochs": args.epochs,
                 "batch_size": args.batch_size,
                 "cache_fraction": args.cache_fraction,
+                "world_size": args.world_size,
+                "shared_cache": args.shared_cache,
+                "cache_shards": args.cache_shards,
             },
         )
         print(f"run artifacts written to {args.trace_dir}/ "

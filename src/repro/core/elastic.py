@@ -218,6 +218,22 @@ class ElasticCacheManager:
             return self.controller.r_start
         return self.history[-1].imp_ratio
 
+    def coordinate(self, epoch: int, score_std: float, accuracy: float,
+                   caches) -> float:
+        """One global split decision applied to every cache tier.
+
+        In the sharded service exactly one worker owns the manager: the
+        ratio is computed once from the *global* score/accuracy signals
+        and pushed to each cache (monolithic or
+        :class:`~repro.dist.client.ShardedCacheClient`), so all shards
+        re-split in lockstep instead of each worker annealing its own
+        copy against local noise.
+        """
+        ratio = self.step(epoch, score_std, accuracy)
+        for cache in caches:
+            cache.set_imp_ratio(ratio)
+        return ratio
+
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:
         """Exact snapshot of all three components plus decision history.

@@ -98,6 +98,7 @@ class SpiderCachePolicy(TrainingPolicy):
         score_floor: float = 0.1,
         prefetch_fraction: float = 0.0,
         degraded_mode: bool = False,
+        cache_factory=None,
         rng: RngLike = None,
     ) -> None:
         super().__init__(rng=rng)
@@ -150,6 +151,12 @@ class SpiderCachePolicy(TrainingPolicy):
         self.elastic = elastic
         self.gamma = gamma
         self.backend = backend
+        # Cache construction hook: ``cache_factory(capacity, imp_ratio)``
+        # may return any SemanticCache-compatible tier — the data-parallel
+        # trainer injects a shared ShardedCacheClient here so every worker
+        # policy drives one logical cache. ``None`` builds the in-process
+        # monolithic cache.
+        self.cache_factory = cache_factory
         # Built in setup():
         self.scorer: Optional[GraphImportanceScorer] = None
         self.score_table: Optional[GlobalScoreTable] = None
@@ -171,7 +178,10 @@ class SpiderCachePolicy(TrainingPolicy):
             backend=self.backend,
         )
         capacity = int(round(self.cache_fraction * n))
-        self.cache = SemanticCache(capacity, imp_ratio=self.r_start)
+        if self.cache_factory is not None:
+            self.cache = self.cache_factory(capacity, self.r_start)
+        else:
+            self.cache = SemanticCache(capacity, imp_ratio=self.r_start)
         if self.degraded_mode:
             self.cache.enable_degraded_mode()
         self.manager = ElasticCacheManager(
@@ -309,8 +319,7 @@ class SpiderCachePolicy(TrainingPolicy):
         assert self.cache is not None
         std = self.score_table.snapshot_std()
         if self.elastic:
-            ratio = self.manager.step(epoch, std, val_accuracy)
-            self.cache.set_imp_ratio(ratio)
+            self.manager.coordinate(epoch, std, val_accuracy, [self.cache])
 
     # ------------------------------------------------------------------
     def state_dict(self) -> dict:

@@ -22,7 +22,7 @@ latency, and the simulated latency of the most recent remote store fetch
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullRecorder, TraceRecorder
@@ -203,6 +203,26 @@ class Observer:
             "elastic", decision_epoch=int(epoch), beta=int(beta),
             u=float(u), imp_ratio=float(imp_ratio),
         )
+
+    # -- sharded cache service -------------------------------------------
+    def on_rpc(self, shard: int, method: str, latency_s: float) -> None:
+        """One cache-protocol RPC completed (metrics only: per-call trace
+        events would dwarf the fetch stream)."""
+        m = self.metrics
+        m.counter("rpc.calls").inc()
+        m.counter(f"rpc.shard{int(shard)}.calls").inc()
+        m.histogram(
+            "rpc.latency_s", bounds=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+        ).observe(float(latency_s))
+
+    def on_shards(self, snapshots: List[Dict[str, Any]]) -> None:
+        """Per-epoch shard-service snapshot (occupancy, stats, breakers)."""
+        m = self.metrics
+        for snap in snapshots:
+            sid = int(snap["shard"])
+            m.gauge(f"shard{sid}.imp_len").set(snap["imp_len"])
+            m.gauge(f"shard{sid}.hom_len").set(snap["hom_len"])
+        self.emit("shards", shards=list(snapshots))
 
     # -- resilience ------------------------------------------------------
     def on_breaker(self, old: str, new: str, at_s: float) -> None:

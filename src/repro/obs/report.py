@@ -297,10 +297,39 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
             f"charged {charged:.3f}s, saved {saved:.3f}s"
         )
 
+    shard_events = [e for e in events if e.get("kind") == "shards"]
+    if shard_events:
+        # Per-epoch snapshots are cumulative; the last one is the run's
+        # final shard-service state.
+        final = shard_events[-1].get("shards", [])
+        header = (
+            f"  {'shard':>5} {'imp':>5} {'hom':>5} {'imp_hit':>8} "
+            f"{'hom_hit':>8} {'subst':>6} {'rpc':>7} {'fail':>5} {'breaker':>9}"
+        )
+        lines.append("shards (final state):")
+        lines.append(header)
+        for s in final:
+            lines.append(
+                f"  {s.get('shard', '?'):>5} {s.get('imp_len', 0):>5} "
+                f"{s.get('hom_len', 0):>5} {s.get('imp_hits', 0):>8} "
+                f"{s.get('hom_hits', 0):>8} {s.get('hom_substitute_hits', 0):>6} "
+                f"{s.get('rpc_calls', 0):>7} "
+                f"{s.get('rpc_failures', 0) + s.get('rpc_fast_failures', 0):>5} "
+                f"{s.get('breaker', '?'):>9}"
+            )
+
     restores = by_kind.get("restore", 0)
     if restores:
         lines.append(f"consistency check skipped: {restores} restore event(s) — "
                      "replayed batches appear twice in the journal")
+        return lines
+
+    run_start = next((e for e in events if e.get("kind") == "run_start"), None)
+    if run_start is not None and int(run_start.get("world_size", 1)) > 1:
+        lines.append(
+            "consistency check skipped: multi-worker run — stage times are "
+            "divided across workers, not derivable from the flat fetch stream"
+        )
         return lines
 
     aggs = {a.epoch: a for a in aggregate_trace(events)}

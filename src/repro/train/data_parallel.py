@@ -19,6 +19,7 @@ first principles rather than by scaling a single-GPU run.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -26,8 +27,11 @@ import numpy as np
 
 from repro.data.loader import DataLoader
 from repro.data.synthetic import SyntheticDataset
+from repro.dist.client import ShardedCacheClient
+from repro.dist.rpc import SimRpcChannel
 from repro.nn.models import Model
 from repro.nn.optim import SGD
+from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.storage.backends import RemoteStore
 from repro.storage.clock import SimClock
 from repro.storage.latency import ConstantLatency, LatencyModel
@@ -67,6 +71,12 @@ class DataParallelTrainer:
         its shard (per-worker caches, as in the paper's multi-GPU setup).
     comm_ms_per_step:
         All-reduce cost at 2 workers; scaled by ``2 (K-1)/K``.
+    cache_shards:
+        With ``shared_cache=True`` and ``cache_shards > 0``, the shared
+        tier becomes a :class:`~repro.dist.client.ShardedCacheClient`
+        over that many shard servers; RPC latency is charged to the
+        shared clock's ``"rpc"`` stage. ``0`` keeps the in-process
+        monolithic cache.
     """
 
     def __init__(
@@ -79,7 +89,10 @@ class DataParallelTrainer:
         config: Optional[TrainerConfig] = None,
         latency: Optional[LatencyModel] = None,
         comm_ms_per_step: float = 8.0,
-        shared_cache: bool = False,
+        shared_cache: Optional[bool] = None,
+        cache_shards: Optional[int] = None,
+        rpc_latency: Optional[LatencyModel] = None,
+        observer: Optional[Observer] = None,
         rng: RngLike = None,
     ) -> None:
         if world_size < 1:
@@ -87,8 +100,19 @@ class DataParallelTrainer:
         self.train_set = train_set
         self.test_set = test_set
         self.config = config or TrainerConfig()
+        # Topology knobs live in TrainerConfig; explicit arguments win.
+        if shared_cache is None:
+            shared_cache = self.config.shared_cache
+        if cache_shards is None:
+            cache_shards = self.config.cache_shards
+        if cache_shards < 0:
+            raise ValueError("cache_shards must be non-negative")
+        if cache_shards and not shared_cache:
+            raise ValueError("cache_shards requires shared_cache=True")
         self.world_size = int(world_size)
         self.comm_ms_per_step = float(comm_ms_per_step)
+        self.cache_shards = int(cache_shards)
+        self.observer = observer if observer is not None else NULL_OBSERVER
         # shared_cache=True models the paper's multi-GPU deployment: all
         # workers fetch through ONE policy/cache over the full dataset (one
         # Redis shared by every GPU), and each epoch's global importance
@@ -112,6 +136,8 @@ class DataParallelTrainer:
                 latency=latency or ConstantLatency(),
                 clock=shared_clock,
             )
+        self._shared_clock = shared_clock
+        self._rpc_latency = rpc_latency
 
         if self.shared_cache:
             shards = [np.arange(n) for _ in range(world_size)]
@@ -128,6 +154,16 @@ class DataParallelTrainer:
                 store = shared_store
                 if rank == 0:
                     policy = policy_factory(rank)
+                    if self.cache_shards:
+                        # Swap the policy's cache tier for the sharded
+                        # service: one logical cache, N shard servers,
+                        # RPCs charged to the shared clock.
+                        if not hasattr(policy, "cache_factory"):
+                            raise ValueError(
+                                "cache_shards requires a policy with a "
+                                "cache_factory hook"
+                            )
+                        policy.cache_factory = self._make_shard_client
                     policy.setup(
                         PolicyContext(
                             dataset=train_set,
@@ -182,6 +218,57 @@ class DataParallelTrainer:
         for w in self.workers[1:]:
             w.model.load_state_dict(ref)
 
+        if self.observer.active:
+            self._attach_observer()
+
+    # ------------------------------------------------------------------
+    def _make_shard_client(self, capacity: int, imp_ratio: float) -> ShardedCacheClient:
+        """Cache-factory hook injected into the rank-0 policy."""
+        return ShardedCacheClient(
+            capacity,
+            imp_ratio=imp_ratio,
+            n_shards=self.cache_shards,
+            clock=self._shared_clock,
+            latency=self._rpc_latency,
+        )
+
+    def _shared_client(self) -> Optional[ShardedCacheClient]:
+        """The shared sharded-cache client, if this run uses one."""
+        if not self.cache_shards:
+            return None
+        cache = getattr(self.workers[0].policy, "cache", None)
+        return cache if isinstance(cache, ShardedCacheClient) else None
+
+    def _attach_observer(self) -> None:
+        """Wire the run observer through the shared store and policies."""
+        obs = self.observer
+        obs.hit_latency_s = self.config.hit_latency_s
+        seen = set()
+        for w in self.workers:
+            if hasattr(w.store, "attach_observer") and id(w.store) not in seen:
+                w.store.attach_observer(obs)
+                seen.add(id(w.store))
+            if id(w.policy) not in seen:
+                w.policy.attach_observer(obs)
+                seen.add(id(w.policy))
+
+    def _emit_run_start(self) -> None:
+        cfg = self.config
+        first = self.workers[0]
+        self.observer.on_run_start({
+            "policy": first.policy.name,
+            "model": first.model.spec.name if first.model.spec else "custom",
+            "dataset": self.train_set.name,
+            "epochs": cfg.epochs,
+            "batch_size": cfg.batch_size,
+            "io_workers": cfg.io_workers,
+            "prefetch_workers": cfg.prefetch_workers,
+            "hit_latency_s": cfg.hit_latency_s,
+            "world_size": self.world_size,
+            "shared_cache": self.shared_cache,
+            "cache_shards": self.cache_shards,
+        })
+
     # ------------------------------------------------------------------
     def replicas_in_sync(self, atol: float = 1e-10) -> bool:
         """True iff every replica's parameters match worker 0's."""
@@ -225,6 +312,10 @@ class DataParallelTrainer:
         )
         comm_factor = 2 * (k - 1) / k if k > 1 else 0.0
         val_accuracy = 0.0
+        obs = self.observer
+        if obs.active:
+            self._emit_run_start()
+        client = self._shared_client()
 
         # In shared-cache mode every worker aliases one policy/store.
         policies = (
@@ -237,11 +328,14 @@ class DataParallelTrainer:
         )
 
         for epoch in range(cfg.epochs):
+            if obs.active:
+                obs.set_epoch(epoch)
             for w in self.workers:
                 w.optimizer.set_epoch(epoch)
             for p in policies:
                 p.before_epoch(epoch)
             load_before = [c.stage_seconds(RemoteStore.STAGE) for c in clocks]
+            rpc_before = [c.stage_seconds(SimRpcChannel.STAGE) for c in clocks]
             stats_before = [
                 (s.requests, s.hits + s.substitute_hits, s.hits,
                  s.substitute_hits)
@@ -287,7 +381,17 @@ class DataParallelTrainer:
                 (c.stage_seconds(RemoteStore.STAGE) - b) / cfg.io_workers
                 for c, b in zip(clocks, load_before)
             ]
-            data_load_s = loads[0] / k if self.shared_cache else max(loads)
+            # Cache-protocol RPC time (sharded service only) is extra
+            # data-path latency; like the shared-store load it is split
+            # across the workers issuing the calls.
+            rpcs = [
+                (c.stage_seconds(SimRpcChannel.STAGE) - b) / k
+                for c, b in zip(clocks, rpc_before)
+            ]
+            data_load_s = (
+                loads[0] / k + rpcs[0] if self.shared_cache
+                else max(loads)
+            )
             compute_s = n_steps * (costs.stage1_ms + costs.stage2_ms) / 1e3 * (
                 (cfg.batch_size / k) / cfg.reference_batch
             )
@@ -312,19 +416,22 @@ class DataParallelTrainer:
             exact = sum(a[2] - b[2] for a, b in zip(stats_after, stats_before))
             sub = sum(a[3] - b[3] for a, b in zip(stats_after, stats_before))
 
-            result.epochs.append(
-                EpochMetrics(
-                    epoch=epoch,
-                    train_loss=epoch_loss / max(n_seen, 1),
-                    val_accuracy=val_accuracy,
-                    hit_ratio=hit / req if req else 0.0,
-                    exact_hit_ratio=exact / req if req else 0.0,
-                    substitute_ratio=sub / req if req else 0.0,
-                    data_load_s=data_load_s,
-                    compute_s=compute_s,
-                    is_visible_s=is_visible_s,
-                    epoch_time_s=data_load_s + compute_s + comm_s + is_visible_s,
-                    imp_ratio=first.policy.imp_ratio,
-                )
+            em = EpochMetrics(
+                epoch=epoch,
+                train_loss=epoch_loss / max(n_seen, 1),
+                val_accuracy=val_accuracy,
+                hit_ratio=hit / req if req else 0.0,
+                exact_hit_ratio=exact / req if req else 0.0,
+                substitute_ratio=sub / req if req else 0.0,
+                data_load_s=data_load_s,
+                compute_s=compute_s,
+                is_visible_s=is_visible_s,
+                epoch_time_s=data_load_s + compute_s + comm_s + is_visible_s,
+                imp_ratio=first.policy.imp_ratio,
             )
+            result.epochs.append(em)
+            if obs.active:
+                obs.on_epoch_metrics(dataclasses.asdict(em))
+                if client is not None:
+                    obs.on_shards(client.shard_snapshots())
         return result

@@ -74,6 +74,11 @@ class TrainerConfig:
     hit_latency_s: float = 20e-6  # in-memory cache hit cost
     eval_every: int = 1
     reference_batch: int = 128  # batch size the Table-1 ms costs assume
+    # Multi-worker cache topology (DataParallelTrainer only): one shared
+    # logical cache instead of per-worker caches, optionally partitioned
+    # across `cache_shards` shard servers behind simulated RPC.
+    shared_cache: bool = False
+    cache_shards: int = 0
 
     def build_schedule(self):
         """Resolve ``lr_schedule`` into a schedule object (or None)."""

@@ -63,6 +63,18 @@ class IndexedMinHeap:
         entry = self._heap[0]
         return entry[0], entry[2]
 
+    def peek_entry(self) -> Tuple[float, int, Any]:
+        """Return ``(priority, tiebreak, key)`` of the minimum.
+
+        Exposing the tiebreak lets a coordinator compare minima *across*
+        heaps (the sharded cache service elects a global victim among
+        per-shard minima) with exactly the ordering :meth:`pop` uses.
+        """
+        if not self._heap:
+            raise IndexError("peek from empty heap")
+        entry = self._heap[0]
+        return entry[0], entry[1], entry[2]
+
     def min_priority(self) -> float:
         """Priority of the minimum element."""
         return self.peek()[0]
@@ -70,12 +82,24 @@ class IndexedMinHeap:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def push(self, key: Any, priority: float) -> None:
-        """Insert ``key`` with ``priority``; raises if key already present."""
+    def push(self, key: Any, priority: float, tiebreak: Optional[int] = None) -> None:
+        """Insert ``key`` with ``priority``; raises if key already present.
+
+        ``tiebreak`` overrides the internal insertion counter. Heaps that
+        are partitions of one logical heap (the sharded cache service)
+        pass a globally assigned counter so equal-priority eviction order
+        matches the monolithic heap's bit for bit; the internal counter is
+        bumped past it so later local pushes never collide.
+        """
         if key in self._pos:
             raise KeyError(f"duplicate heap key: {key!r}")
-        entry = [priority, self._counter, key]
-        self._counter += 1
+        if tiebreak is None:
+            tiebreak = self._counter
+            self._counter += 1
+        else:
+            tiebreak = int(tiebreak)
+            self._counter = max(self._counter, tiebreak + 1)
+        entry = [priority, tiebreak, key]
         self._heap.append(entry)
         self._pos[key] = len(self._heap) - 1
         self._sift_up(len(self._heap) - 1)

@@ -103,7 +103,9 @@ def test_property_nonneg_and_triangle_free(a, b):
 def test_property_pairwise_triangle_inequality(pts):
     d = pairwise_l2(pts)
     n = len(pts)
+    # The GEMM expansion loses ~1e-7 of absolute precision at these
+    # magnitudes, so the slack must sit above it (same idiom as above).
     for i in range(n):
         for j in range(n):
             for k in range(n):
-                assert d[i, j] <= d[i, k] + d[k, j] + 1e-7
+                assert d[i, j] <= d[i, k] + d[k, j] + 1e-5

@@ -28,3 +28,20 @@ def test_golden_fixture_consistency_check_passes():
     golden = (FIXTURES / "golden-report.txt").read_text()
     assert "trace vs per-epoch metrics: OK" in golden
     assert "prefetch overlap:" in golden
+
+
+def test_report_cli_matches_golden_shard_fixture(capsys):
+    """Sharded-run fixture (``--world-size 2 --shared-cache --cache-shards
+    2``, same seed recipe; see EXPERIMENTS.md for regeneration) renders
+    the shards section and the multi-worker consistency skip."""
+    assert main(["report", str(FIXTURES / "golden-shard-run")]) == 0
+    out = capsys.readouterr().out
+    golden = (FIXTURES / "golden-shard-report.txt").read_text()
+    assert out.splitlines() == golden.splitlines()
+
+
+def test_golden_shard_fixture_has_shard_section():
+    golden = (FIXTURES / "golden-shard-report.txt").read_text()
+    assert "shards (final state):" in golden
+    assert "consistency check skipped: multi-worker run" in golden
+    assert "cache_shards=2" in golden
