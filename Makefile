@@ -45,13 +45,14 @@ concurrency:
 	$(PYTHON) -m pytest tests/ -m concurrency
 	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/concurrency/
 
-# Sharded cache-service suite (differential oracle, interleavings,
-# shard faults) under the increased Hypothesis budget, plus a sharded
-# shared-cache smoke run.
+# Sharded cache-service suite — every dist-marked test (differential
+# oracle, retry/backoff, migration, chaos) under the increased
+# Hypothesis budget, plus a sharded smoke run with a live ring resize.
 dist:
-	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest tests/dist/
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -m dist
 	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3 \
-		--world-size 2 --shared-cache --cache-shards 2
+		--world-size 2 --shared-cache --cache-shards 2 \
+		--resize-shards-at 1:4
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

@@ -104,6 +104,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="partition the shared cache across this many shard servers "
              "behind simulated RPC (requires --shared-cache)",
     )
+    train_p.add_argument(
+        "--resize-shards-at", default=None, metavar="EPOCH:COUNT",
+        help="live-resize the shard ring to COUNT shards at the start of "
+             "EPOCH, migrating cached keys over the RPC channel "
+             "(requires --cache-shards)",
+    )
+    train_p.add_argument(
+        "--rpc-deadline-ms", type=float, default=10.0,
+        help="per-call deadline for cache-protocol RPCs (sharded service)",
+    )
+    train_p.add_argument(
+        "--rpc-retry-budget", type=int, default=3,
+        help="total attempts per cache-protocol request, first included "
+             "(1 disables retries)",
+    )
     add_common(train_p)
 
     report_p = sub.add_parser(
@@ -207,10 +222,31 @@ def _make_dp_run(args, policy_name: str, observer=None):
             prefetch_workers=getattr(args, "prefetch_workers", 0),
             shared_cache=args.shared_cache,
             cache_shards=args.cache_shards,
+            rpc_deadline_s=args.rpc_deadline_ms / 1e3,
+            rpc_retry_budget=args.rpc_retry_budget,
+            resize_shards_at=_parse_resize_at(args.resize_shards_at),
         ),
         observer=observer,
         rng=args.seed + 4,
     )
+
+
+def _parse_resize_at(spec):
+    """``EPOCH:COUNT`` -> (epoch, count), or None."""
+    if spec is None:
+        return None
+    try:
+        epoch_s, count_s = str(spec).split(":", 1)
+        epoch, count = int(epoch_s), int(count_s)
+    except ValueError:
+        print(f"--resize-shards-at expects EPOCH:COUNT (got {spec!r})",
+              file=sys.stderr)
+        raise SystemExit(2)
+    if epoch < 0 or count < 1:
+        print("--resize-shards-at needs EPOCH >= 0 and COUNT >= 1",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return epoch, count
 
 
 def _cmd_train(args) -> int:
@@ -219,6 +255,15 @@ def _cmd_train(args) -> int:
         return 2
     if args.shared_cache and args.world_size < 2:
         print("--shared-cache requires --world-size >= 2", file=sys.stderr)
+        return 2
+    if args.resize_shards_at is not None and not args.cache_shards:
+        print("--resize-shards-at requires --cache-shards", file=sys.stderr)
+        return 2
+    if args.rpc_deadline_ms <= 0:
+        print("--rpc-deadline-ms must be positive", file=sys.stderr)
+        return 2
+    if args.rpc_retry_budget < 1:
+        print("--rpc-retry-budget must be >= 1", file=sys.stderr)
         return 2
     observer = None
     recorder = None

@@ -1,0 +1,55 @@
+"""Sharded shared-cache service — the fault-tolerant tier.
+
+Partitions the two-layer :class:`~repro.core.semantic_cache.SemanticCache`
+across N :class:`~repro.dist.server.CacheShardServer` partitions behind a
+simulated RPC channel, fronted by a
+:class:`~repro.dist.client.ShardedCacheClient` that every data-parallel
+worker shares. The client keeps the *logical* cache state (importance
+heap, homophily FIFO + neighbor cover map, capacity split) locally and
+the payloads on the shards, which is what makes the service
+
+* **bit-identical** to the monolithic cache for any shard count when no
+  faults fire (the Hypothesis differential oracle in ``tests/dist``), and
+* **gracefully degraded** when shards do fail: lookups become misses,
+  admits become counted ``dropped_admits``, and the global
+  capacity/eviction/FIFO invariants are never corrupted.
+
+Modules:
+
+* :mod:`~repro.dist.ring` — splitmix64 consistent-hash ring (virtual
+  nodes, minimal disruption on resize);
+* :mod:`~repro.dist.rpc` — :class:`SimRpcChannel` with per-call
+  deadlines, fault-plan outage/brownout injection, and timeout-vs-outage
+  error classification;
+* :mod:`~repro.dist.retry` — seeded-jitter capped exponential backoff
+  with a per-request retry budget;
+* :mod:`~repro.dist.server` — idempotent shard partition servers;
+* :mod:`~repro.dist.client` — the breaker-guarded coordinating client;
+* :mod:`~repro.dist.migration` — live ring resizing with retry-safe,
+  interruptible, batched key migration.
+"""
+
+from repro.dist.client import ShardedCacheClient
+from repro.dist.migration import MigrationState
+from repro.dist.retry import RetryBudgetExhausted, RetryPolicy
+from repro.dist.ring import ConsistentHashRing
+from repro.dist.rpc import (
+    RpcError,
+    RpcTimeoutError,
+    ShardOutageError,
+    SimRpcChannel,
+)
+from repro.dist.server import CacheShardServer
+
+__all__ = [
+    "ConsistentHashRing",
+    "CacheShardServer",
+    "SimRpcChannel",
+    "ShardedCacheClient",
+    "MigrationState",
+    "RetryPolicy",
+    "RetryBudgetExhausted",
+    "RpcError",
+    "RpcTimeoutError",
+    "ShardOutageError",
+]

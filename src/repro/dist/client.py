@@ -1,0 +1,1045 @@
+"""Fault-tolerant sharded cache client (metadata here, payloads there).
+
+:class:`ShardedCacheClient` presents the exact
+:class:`~repro.core.semantic_cache.SemanticCache` API to the trainer and
+the policy, but stores payload bytes on
+:class:`~repro.dist.server.CacheShardServer` partitions reached over a
+deadline-enforcing, fault-injected :class:`~repro.dist.rpc.SimRpcChannel`.
+
+Design: **all policy state is client-side**. The client owns one
+:class:`~repro.utils.heap.IndexedMinHeap` (importance scores + global
+tiebreaks), the homophily FIFO with its neighbor cover map, both layers'
+stats, and the per-key location maps. Shards hold only payload bytes.
+Consequences:
+
+* every admission/eviction/substitution *decision* is identical to the
+  monolith's, so a fault-free sharded run is **bit-identical** (same
+  ``state_dict``, same stats) to a monolithic run for any shard count —
+  the differential oracle in ``tests/dist`` proves it for K in {1, 2, 4}
+  and across live ring resizes;
+* an RPC failure can only lose *payload availability*, never corrupt
+  policy state: failed lookups degrade to misses (served by the next
+  protocol stage), failed admits are counted as ``dropped_admits`` and
+  leave metadata untouched, so capacity/eviction/FIFO invariants hold
+  through arbitrary outage/brownout schedules.
+
+Each shard sits behind its own
+:class:`~repro.resilience.breaker.CircuitBreaker`; retries use the
+seeded-jitter backoff of :class:`~repro.dist.retry.RetryPolicy`. Write
+ordering is *payload first*: a put RPC must succeed before any metadata
+changes, and victim deletes afterwards are best-effort (failures park in
+a per-shard anti-entropy queue, flushed opportunistically after the next
+successful call to that shard).
+
+Live resizing: :meth:`resize` plans a key migration to a ring of the new
+size (see :mod:`repro.dist.migration`) and :meth:`continue_migration`
+drains it over the same faulty channel — interruptible, idempotent, and
+verified by :meth:`verify_placement`.
+
+The client is single-threaded by design (one loader thread per worker in
+the simulated data-parallel trainer), so unlike the monolith it carries
+no lock stripes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict, defaultdict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.cache.base import CacheStats
+from repro.core.semantic_cache import (
+    DegradedStats,
+    FetchOutcome,
+    FetchSource,
+    split_capacity,
+)
+from repro.dist.migration import (
+    DEFAULT_BATCH_SIZE,
+    MigrationState,
+    plan_migration,
+)
+from repro.dist.retry import RetryBudgetExhausted, RetryPolicy
+from repro.dist.ring import DEFAULT_SEED, ConsistentHashRing
+from repro.dist.rpc import (
+    RpcError,
+    RpcTimeoutError,
+    ShardOutageError,
+    SimRpcChannel,
+)
+from repro.dist.server import CacheShardServer
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.errors import CircuitOpenError
+from repro.storage.clock import SimClock
+from repro.storage.latency import LatencyModel
+from repro.utils.heap import IndexedMinHeap
+
+__all__ = ["ShardedCacheClient", "ImportanceView", "HomophilyView"]
+
+#: Failures after which a shard interaction degrades instead of raising:
+#: a burned retry budget (an ``RpcError`` subclass) or a fail-fast
+#: rejection from an open per-shard breaker.
+_DEGRADE_ERRORS = (RpcError, CircuitOpenError)
+
+#: Single-attempt channel failures (retried / parked by the layers above).
+_ATTEMPT_ERRORS = (ShardOutageError, RpcTimeoutError)
+
+
+class ImportanceView:
+    """Importance-layer facade with the monolith ImportanceCache's
+    policy-facing API (capacity, membership, ``min_score``, ``admit``),
+    backed by the client's metadata and the shard tier's payloads."""
+
+    def __init__(self, client: "ShardedCacheClient", capacity: int) -> None:
+        self._client = client
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._client._imp_loc)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._client._imp_loc
+
+    def min_score(self) -> Optional[float]:
+        """Score of the least-important resident, or ``None`` when empty."""
+        heap = self._client._heap
+        if not len(heap):
+            return None
+        return heap.min_priority()
+
+    def admit(self, key: int, value: Any, score: float) -> bool:
+        """Offer a sample; same decision rule as the monolith, but the
+        payload put must clear the RPC tier first (a failed put is a
+        dropped admit, not an exception)."""
+        return self._client._admit_importance(int(key), value, float(score))
+
+    def keys(self) -> List[int]:
+        """Resident sample ids (metadata insertion order)."""
+        return list(self._client._imp_loc)
+
+
+class HomophilyView:
+    """Homophily-layer facade mirroring HomophilyCache's read API."""
+
+    def __init__(self, client: "ShardedCacheClient", capacity: int) -> None:
+        self._client = client
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._client._hom_entries)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._client._hom_entries
+
+    def covers(self, index: int) -> bool:
+        """True if ``index`` is a cached node or in a cached node's
+        neighbor list."""
+        c = self._client
+        return index in c._neighbor_of or index in c._hom_entries
+
+    def keys(self) -> List[int]:
+        """Cached high-degree node ids in FIFO order."""
+        return list(self._client._hom_entries)
+
+    def neighbor_list(self, key: int) -> Tuple[int, ...]:
+        """Neighbor IDs stored with a cached node (KeyError if absent)."""
+        return self._client._hom_entries[int(key)]
+
+    @property
+    def covered_count(self) -> int:
+        """Distinct sample ids currently servable (nodes + neighbors)."""
+        c = self._client
+        covered = set(c._neighbor_of)
+        covered.update(c._hom_entries)
+        return len(covered)
+
+
+class ShardedCacheClient:
+    """SemanticCache-compatible client over breaker-guarded shard RPCs.
+
+    Parameters
+    ----------
+    total_capacity / imp_ratio:
+        Item budget and importance split — exactly as the monolith.
+    n_shards:
+        Initial shard-server count (consistent-hash ring size).
+    clock / latency / deadline_s / fault_plans:
+        Forwarded to the :class:`SimRpcChannel` (shared simulated clock,
+        per-call latency model, per-call deadline, per-shard fault
+        schedules).
+    retry:
+        :class:`RetryPolicy` for every cache-protocol call; default
+        policy retries twice with seeded-jitter exponential backoff.
+    breaker_failure_threshold / breaker_cooldown_s / breaker_close_threshold:
+        Per-shard :class:`CircuitBreaker` parameters (every shard gets
+        its own breaker; new shards added by :meth:`resize` inherit
+        them).
+    vnodes / seed:
+        Consistent-hash ring geometry (see :mod:`repro.dist.ring`).
+    migration_batch_size:
+        Keys per migration transfer batch during a live resize.
+    """
+
+    def __init__(
+        self,
+        total_capacity: int,
+        imp_ratio: float = 0.9,
+        n_shards: int = 1,
+        clock: Optional[SimClock] = None,
+        latency: Optional[LatencyModel] = None,
+        deadline_s: float = 0.01,
+        retry: Optional[RetryPolicy] = None,
+        fault_plans: Optional[Dict[int, Any]] = None,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_s: float = 0.05,
+        breaker_close_threshold: int = 1,
+        vnodes: int = 64,
+        seed: int = DEFAULT_SEED,
+        migration_batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if total_capacity < 0:
+            raise ValueError("total_capacity must be non-negative")
+        if not 0.0 <= imp_ratio <= 1.0:
+            raise ValueError("imp_ratio must be in [0, 1]")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        self.total_capacity = int(total_capacity)
+        self._imp_ratio = float(imp_ratio)
+        imp_cap = split_capacity(self.total_capacity, imp_ratio)
+        self.importance = ImportanceView(self, imp_cap)
+        self.homophily = HomophilyView(self, self.total_capacity - imp_cap)
+        self.stats = CacheStats()
+        self.degraded = DegradedStats()
+        self.degrade_on: Tuple[type, ...] = ()
+
+        self.n_shards = int(n_shards)
+        self._ring = ConsistentHashRing(self.n_shards, vnodes=vnodes, seed=seed)
+        self._servers: Dict[int, CacheShardServer] = {
+            sid: CacheShardServer(sid) for sid in range(self.n_shards)
+        }
+        self._channel = SimRpcChannel(
+            self._servers,
+            clock=clock,
+            latency=latency,
+            deadline_s=deadline_s,
+            fault_plans=fault_plans,
+        )
+        self.clock = self._channel.clock
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._breaker_kwargs = dict(
+            failure_threshold=int(breaker_failure_threshold),
+            cooldown_s=float(breaker_cooldown_s),
+            close_threshold=int(breaker_close_threshold),
+        )
+        self._breakers: Dict[int, CircuitBreaker] = {
+            sid: CircuitBreaker(**self._breaker_kwargs)
+            for sid in range(self.n_shards)
+        }
+
+        # -- client-side policy state (the logical cache) ----------------
+        self._heap = IndexedMinHeap()  # importance scores + tiebreaks
+        self._imp_loc: Dict[int, int] = {}  # key -> shard holding payload
+        self._hom_entries: "OrderedDict[int, Tuple[int, ...]]" = OrderedDict()
+        self._hom_loc: Dict[int, int] = {}
+        self._neighbor_of: Dict[int, Set[int]] = {}
+
+        # -- fault-tolerance bookkeeping ---------------------------------
+        self._pending_deletes: Dict[int, List[Tuple[str, int]]] = {}
+        self._shard_stats: Dict[int, Counter] = defaultdict(Counter)
+        self.dropped_admits = 0  # failed payload puts (metadata untouched)
+        self.degraded_lookups = 0  # failed payload reads served as misses
+        self.rpc_retries = 0
+        self._rpc_seq = 0  # deterministic per-request id for jitter
+
+        self.migration_batch_size = int(migration_batch_size)
+        self._migration: Optional[MigrationState] = None
+        self.completed_resizes = 0
+        self._obs = NULL_OBSERVER
+
+    # ------------------------------------------------------------------
+    # wiring / introspection
+    # ------------------------------------------------------------------
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish RPC, breaker, and cache activity to ``observer``."""
+        self._obs = observer
+        self._channel.attach_observer(observer)
+        for breaker in self._breakers.values():
+            breaker.attach_observer(observer)
+
+    @property
+    def channel(self) -> SimRpcChannel:
+        return self._channel
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        return self._ring
+
+    @property
+    def servers(self) -> Dict[int, CacheShardServer]:
+        return self._servers
+
+    @property
+    def breakers(self) -> Dict[int, CircuitBreaker]:
+        return self._breakers
+
+    @property
+    def migration(self) -> Optional[MigrationState]:
+        """The in-flight resize, or ``None``."""
+        return self._migration
+
+    def set_fault_plan(self, shard: int, plan: Optional[Any]) -> None:
+        """Install (or clear) one shard's fault schedule."""
+        self._channel.set_fault_plan(shard, plan)
+
+    def _placement_ring(self) -> ConsistentHashRing:
+        """Ring governing *new* placements: the migration target while a
+        resize is in flight (so fresh admits land where they will end
+        up), the active ring otherwise."""
+        if self._migration is not None:
+            return self._migration.target_ring
+        return self._ring
+
+    # ------------------------------------------------------------------
+    # RPC machinery
+    # ------------------------------------------------------------------
+    def _call_with_retries(
+        self, shard: int, method: str, *args: Any, nbytes: int = 0
+    ) -> Any:
+        """One logical request: breaker gate, then up to
+        ``retry.max_attempts`` channel attempts with seeded backoff.
+
+        Raises :class:`CircuitOpenError` (fail-fast) or
+        :class:`RetryBudgetExhausted`; callers degrade on both.
+        """
+        shard = int(shard)
+        breaker = self._breakers[shard]
+        clock = self.clock
+        request_id = self._rpc_seq
+        self._rpc_seq += 1
+        last: Optional[RpcError] = None
+        for attempt in range(self.retry.max_attempts):
+            now = clock.total_seconds
+            if not breaker.allow(now):
+                breaker.fast_failures += 1
+                self._shard_stats[shard]["rpc_fast_failures"] += 1
+                raise CircuitOpenError(
+                    f"shard {shard} circuit open at t={now:.3f}s; "
+                    f"rejecting {method}"
+                )
+            try:
+                result = self._channel.call(shard, method, *args, nbytes=nbytes)
+            except _ATTEMPT_ERRORS as exc:
+                last = exc
+                breaker.record_failure(clock.total_seconds)
+                if attempt + 1 < self.retry.max_attempts:
+                    self.rpc_retries += 1
+                    self._shard_stats[shard]["rpc_retries"] += 1
+                    clock.advance(
+                        self._channel.STAGE,
+                        self.retry.backoff_s(request_id, attempt),
+                    )
+                continue
+            breaker.record_success(clock.total_seconds)
+            if self._pending_deletes.get(shard):
+                self._flush_pending(shard)
+            return result
+        raise RetryBudgetExhausted(shard, method, self.retry.max_attempts, last)
+
+    def _best_effort_delete(self, shard: int, layer: str, key: int) -> None:
+        """Victim/anti-entropy delete: single attempt, never raises.
+
+        Failures park the ``(layer, key)`` pair in the shard's repair
+        queue (a timed-out delete *executed* server-side; re-queueing is
+        harmless because deletes are idempotent)."""
+        shard = int(shard)
+        entry = (layer, int(key))
+        if shard not in self._servers:
+            return  # shard retired by a shrink resize; nothing to repair
+        breaker = self._breakers.get(shard)
+        now = self.clock.total_seconds
+        if breaker is not None and not breaker.allow(now):
+            self._pending_deletes.setdefault(shard, []).append(entry)
+            return
+        try:
+            self._channel.call(shard, f"{layer}_delete", int(key))
+        except _ATTEMPT_ERRORS:
+            if breaker is not None:
+                breaker.record_failure(self.clock.total_seconds)
+            self._pending_deletes.setdefault(shard, []).append(entry)
+        else:
+            if breaker is not None:
+                breaker.record_success(self.clock.total_seconds)
+
+    def _flush_pending(self, shard: int) -> None:
+        """Opportunistic anti-entropy: drain a shard's queued deletes
+        after a successful call proved it reachable. Entries whose key
+        has since legitimately re-landed on that shard are dropped —
+        deleting them would destroy a live payload."""
+        queue = self._pending_deletes.get(shard)
+        if not queue:
+            return
+        live: List[Tuple[str, int]] = []
+        for layer, key in queue:
+            loc = self._imp_loc if layer == "imp" else self._hom_loc
+            if loc.get(key) == shard:
+                continue  # re-resident here; must NOT delete
+            live.append((layer, key))
+        self._pending_deletes[shard] = []
+        if not live:
+            return
+        try:
+            self._channel.call(shard, "bulk_delete", live)
+        except _ATTEMPT_ERRORS:
+            self._pending_deletes[shard] = live + self._pending_deletes[shard]
+
+    # ------------------------------------------------------------------
+    # fetch protocol (Fig. 9, identical decisions to the monolith)
+    # ------------------------------------------------------------------
+    def fetch(
+        self,
+        index: int,
+        score: float,
+        remote_get: Callable[[int], Any],
+    ) -> FetchOutcome:
+        """Serve one sample request per the Fig. 9 protocol.
+
+        Decision-identical to :meth:`SemanticCache.fetch` in fault-free
+        runs; under faults, unreachable payloads degrade each stage to a
+        miss and the next stage takes over.
+        """
+        obs = self._obs
+        index = int(index)
+        payload = self._importance_get(index)
+        if payload is not None:
+            self.stats.hits += 1
+            if obs.active:
+                obs.on_fetch(index, index, FetchSource.IMPORTANCE)
+            return FetchOutcome(index, index, payload, FetchSource.IMPORTANCE)
+
+        sub = self._homophily_lookup(index)
+        if sub is not None:
+            node_key, node_payload = sub
+            if node_key == index:
+                self.stats.hits += 1
+            else:
+                self.stats.substitute_hits += 1
+            if obs.active:
+                obs.on_fetch(index, node_key, FetchSource.HOMOPHILY)
+            return FetchOutcome(
+                index, node_key, node_payload, FetchSource.HOMOPHILY
+            )
+
+        try:
+            payload = remote_get(index)
+        except self.degrade_on:
+            self.degraded.errors_absorbed += 1
+            return self._degraded_fetch(index)
+        self.stats.misses += 1
+        if obs.active:
+            obs.on_fetch(index, index, FetchSource.REMOTE)
+        self._admit_importance(index, payload, score)
+        return FetchOutcome(index, index, payload, FetchSource.REMOTE)
+
+    def _importance_get(self, index: int) -> Optional[Any]:
+        """Importance probe: metadata decides, the shard serves.
+
+        A metadata miss is a plain miss (no RPC — exactly the monolith's
+        dict probe). A metadata hit whose payload RPC fails degrades to a
+        miss and counts ``degraded_lookups``."""
+        shard = self._imp_loc.get(index)
+        if shard is None:
+            self.importance.stats.misses += 1
+            return None
+        try:
+            payload = self._call_with_retries(shard, "imp_get", index)
+        except _DEGRADE_ERRORS:
+            self.degraded_lookups += 1
+            self.importance.stats.misses += 1
+            return None
+        if payload is None:
+            # Shard lost a payload the metadata owns (possible only after
+            # invariant-violating external interference); degrade.
+            self.degraded_lookups += 1
+            self.importance.stats.misses += 1
+            return None
+        self.importance.stats.hits += 1
+        self._shard_stats[shard]["imp_hits"] += 1
+        return payload
+
+    def _hom_payload(self, key: int, substitute: bool) -> Optional[Any]:
+        """Fetch a homophily node's payload from its shard (None on RPC
+        failure — the caller degrades to a miss)."""
+        shard = self._hom_loc[key]
+        try:
+            payload = self._call_with_retries(shard, "hom_get", key, substitute)
+        except _DEGRADE_ERRORS:
+            self.degraded_lookups += 1
+            return None
+        if payload is None:
+            self.degraded_lookups += 1
+            return None
+        self._shard_stats[shard][
+            "hom_substitute_hits" if substitute else "hom_hits"
+        ] += 1
+        return payload
+
+    def _homophily_lookup(self, index: int) -> Optional[Tuple[int, Any]]:
+        """Homophily probe over the client-side cover map (Fig. 9 case 3);
+        serves the most recently inserted covering node, as the monolith
+        does."""
+        hstats = self.homophily.stats
+        if index in self._hom_entries:
+            payload = self._hom_payload(index, substitute=False)
+            if payload is None:
+                hstats.misses += 1
+                return None
+            hstats.hits += 1
+            return index, payload
+        covers = self._neighbor_of.get(index)
+        if not covers:
+            hstats.misses += 1
+            return None
+        for key in reversed(self._hom_entries):
+            if key in covers:
+                payload = self._hom_payload(key, substitute=True)
+                if payload is None:
+                    hstats.misses += 1
+                    return None
+                hstats.substitute_hits += 1
+                return key, payload
+        raise AssertionError("neighbor map out of sync with entries")
+
+    # ------------------------------------------------------------------
+    # admission / refresh (payload-put-first write ordering)
+    # ------------------------------------------------------------------
+    def _admit_importance(self, key: int, value: Any, score: float) -> bool:
+        """Monolith admission rule with RPC-first durability.
+
+        The payload put must succeed *before* any metadata changes; a
+        failed put is counted as a dropped admit and leaves the heap,
+        the location map, and every counter exactly as they were."""
+        obs = self._obs
+        imp = self.importance
+        if imp.capacity == 0:
+            return False
+        if key in self._imp_loc:
+            # Already resident: refresh payload and score.
+            if not self._shard_put(self._imp_loc[key], "imp_put", key, value):
+                return False
+            self._heap.update(key, score)
+            return True
+        if len(self._imp_loc) < imp.capacity:
+            shard = self._placement_ring().shard_for(key)
+            if not self._shard_put(shard, "imp_put", key, value):
+                return False
+            self._heap.push(key, score)
+            self._imp_loc[key] = shard
+            imp.stats.insertions += 1
+            if obs.active:
+                obs.on_admit(key, score, True, None)
+            return True
+        if score <= self._heap.min_priority():
+            if obs.active:
+                obs.on_admit(key, score, False, None)
+            return False
+        shard = self._placement_ring().shard_for(key)
+        if not self._shard_put(shard, "imp_put", key, value):
+            return False
+        _, evicted = self._heap.pop()
+        ev_shard = self._imp_loc.pop(evicted)
+        imp.stats.evictions += 1
+        self._best_effort_delete(ev_shard, "imp", evicted)
+        self._heap.push(key, score)
+        self._imp_loc[key] = shard
+        imp.stats.insertions += 1
+        if obs.active:
+            obs.on_admit(key, score, True, evicted)
+        return True
+
+    def _shard_put(self, shard: int, method: str, key: int, value: Any) -> bool:
+        """Payload put with retries; a failure is a *dropped admit*.
+
+        An ambiguously timed-out put may have executed server-side; the
+        orphan payload is queued for anti-entropy deletion so shard
+        contents reconverge with the metadata."""
+        nbytes = int(np.asarray(value).nbytes)
+        try:
+            self._call_with_retries(shard, method, key, value, nbytes=nbytes)
+        except _DEGRADE_ERRORS:
+            self.dropped_admits += 1
+            self._shard_stats[shard]["dropped_admits"] += 1
+            layer = "imp" if method.startswith("imp") else "hom"
+            self._pending_deletes.setdefault(shard, []).append((layer, key))
+            return False
+        return True
+
+    def update_homophily(
+        self, node_key: int, payload: Any, neighbor_ids: List[int]
+    ) -> bool:
+        """Per-batch Homophily Cache refresh (FIFO), payload-put-first."""
+        hom = self.homophily
+        if hom.capacity == 0:
+            return False
+        key = int(node_key)
+        if key in self._hom_entries:
+            return False
+        shard = self._placement_ring().shard_for(key)
+        if not self._shard_put(shard, "hom_put", key, payload):
+            return False
+        obs = self._obs
+        while len(self._hom_entries) >= hom.capacity:
+            self._evict_oldest_hom("fifo")
+        neigh = tuple(int(n) for n in neighbor_ids)
+        self._hom_entries[key] = neigh
+        self._hom_loc[key] = shard
+        for n in neigh:
+            self._neighbor_of.setdefault(n, set()).add(key)
+        hom.stats.insertions += 1
+        if obs.active:
+            obs.on_homophily_insert(key, len(neigh))
+        return True
+
+    def _evict_oldest_hom(self, reason: str) -> int:
+        key, neigh = self._hom_entries.popitem(last=False)
+        for n in neigh:
+            owners = self._neighbor_of.get(n)
+            if owners is not None:
+                owners.discard(key)
+                if not owners:
+                    del self._neighbor_of[n]
+        shard = self._hom_loc.pop(key)
+        self.homophily.stats.evictions += 1
+        if self._obs.active:
+            self._obs.on_evict("homophily", key, reason)
+        self._best_effort_delete(shard, "hom", key)
+        return key
+
+    def update_score(self, index: int, score: float) -> None:
+        """Propagate a global-score change (pure metadata, no RPC)."""
+        if index in self._imp_loc:
+            self._heap.update(index, score)
+
+    # ------------------------------------------------------------------
+    # elastic split
+    # ------------------------------------------------------------------
+    @property
+    def imp_ratio(self) -> float:
+        return self._imp_ratio
+
+    def set_imp_ratio(self, ratio: float) -> None:
+        """Rebalance layer capacities (same split/ordering rules as the
+        monolith: shrink the losing layer first, then grow the other)."""
+        if not 0.0 <= ratio <= 1.0:
+            raise ValueError("imp_ratio must be in [0, 1]")
+        self._imp_ratio = float(ratio)
+        imp_cap = split_capacity(self.total_capacity, ratio)
+        hom_cap = self.total_capacity - imp_cap
+        if imp_cap < self.importance.capacity:
+            self._shrink_importance(imp_cap)
+            self.homophily.capacity = hom_cap
+        elif imp_cap > self.importance.capacity:
+            self._shrink_homophily(hom_cap)
+            self.importance.capacity = imp_cap
+
+    def _shrink_importance(self, capacity: int) -> List[int]:
+        obs = self._obs
+        evicted = []
+        while len(self._imp_loc) > capacity:
+            _, key = self._heap.pop()
+            shard = self._imp_loc.pop(key)
+            self.importance.stats.evictions += 1
+            if obs.active:
+                obs.on_evict("importance", key, "shrink")
+            self._best_effort_delete(shard, "imp", key)
+            evicted.append(key)
+        self.importance.capacity = int(capacity)
+        return evicted
+
+    def _shrink_homophily(self, capacity: int) -> List[int]:
+        evicted = []
+        while len(self._hom_entries) > capacity:
+            evicted.append(self._evict_oldest_hom("shrink"))
+        self.homophily.capacity = int(capacity)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # degraded mode
+    # ------------------------------------------------------------------
+    def enable_degraded_mode(
+        self, errors: Optional[Tuple[type, ...]] = None
+    ) -> None:
+        """Serve degraded instead of raising when ``remote_get`` fails
+        (same default error set as the monolith)."""
+        if errors is None:
+            from repro.resilience.errors import DegradedModeError
+            from repro.storage.flaky import TransientFetchError
+
+            errors = (DegradedModeError, TransientFetchError)
+        self.degrade_on = tuple(errors)
+
+    def disable_degraded_mode(self) -> None:
+        """Restore strict fail-on-error fetch semantics."""
+        self.degrade_on = ()
+
+    def _degraded_fetch(self, index: int) -> FetchOutcome:
+        """Widened substitution while the remote tier is down.
+
+        Walks homophily entries newest-first until one's payload is
+        actually retrievable (fault-free this is exactly the monolith's
+        ``newest_entry``), then falls back to the importance minimum,
+        then skips — monolith accounting throughout."""
+        obs = self._obs
+        for key in reversed(self._hom_entries):
+            payload = self._neutral_read("hom", key)
+            if payload is None:
+                continue
+            self.stats.degraded_serves += 1
+            self.degraded.substituted_homophily += 1
+            if obs.active:
+                obs.on_degraded(index, key)
+                obs.on_fetch(index, key, FetchSource.DEGRADED)
+            return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
+        if len(self._heap):
+            _, key = self._heap.peek()
+            payload = self._neutral_read("imp", key)
+            if payload is not None:
+                self.stats.degraded_serves += 1
+                self.degraded.substituted_importance += 1
+                if obs.active:
+                    obs.on_degraded(index, key)
+                    obs.on_fetch(index, key, FetchSource.DEGRADED)
+                return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
+        self.stats.misses += 1
+        self.degraded.skipped += 1
+        if obs.active:
+            obs.on_degraded(index, None)
+            obs.on_fetch(index, index, FetchSource.SKIPPED)
+        return FetchOutcome(index, index, None, FetchSource.SKIPPED)
+
+    def _neutral_read(self, layer: str, key: int) -> Optional[Any]:
+        """Payload read that does not disturb the shard's hit counters
+        (uses the read-only ``migrate_out`` export); None on failure."""
+        loc = self._imp_loc if layer == "imp" else self._hom_loc
+        shard = loc.get(key)
+        if shard is None:
+            return None
+        try:
+            out = self._call_with_retries(shard, "migrate_out", layer, [key])
+        except _DEGRADE_ERRORS:
+            self.degraded_lookups += 1
+            return None
+        return out.get(key)
+
+    # ------------------------------------------------------------------
+    # live ring resize + key migration
+    # ------------------------------------------------------------------
+    def resize(
+        self, new_shard_count: int, drain: bool = True
+    ) -> Optional[MigrationState]:
+        """Resize the ring to ``new_shard_count``, migrating keys.
+
+        Grows spin up fresh servers/breakers immediately; the old ring
+        stays authoritative for existing keys until their batch lands
+        (new admits already target the new ring). With ``drain=True``
+        (default) the whole migration runs now; otherwise call
+        :meth:`continue_migration` — e.g. once per epoch boundary — to
+        drain incrementally. Returns the :class:`MigrationState`, or
+        ``None`` for a no-op resize."""
+        new_n = int(new_shard_count)
+        if new_n < 1:
+            raise ValueError("new_shard_count must be >= 1")
+        if self._migration is not None and not self._migration.done:
+            raise RuntimeError("a ring resize is already in progress")
+        old_n = self._ring.n_shards
+        if new_n == old_n:
+            return None
+        for sid in range(old_n, new_n):
+            self._servers[sid] = CacheShardServer(sid)
+            breaker = CircuitBreaker(**self._breaker_kwargs)
+            breaker.attach_observer(self._obs)
+            self._breakers[sid] = breaker
+        state = plan_migration(
+            old_n,
+            self._ring.spawn(new_n),
+            {"imp": dict(self._imp_loc), "hom": dict(self._hom_loc)},
+            batch_size=self.migration_batch_size,
+        )
+        self._migration = state
+        if self._obs.active:
+            self._obs.on_resize(old_n, new_n, state.planned_moves)
+        if drain:
+            self.continue_migration()
+        return state
+
+    def continue_migration(
+        self, max_batches: Optional[int] = None
+    ) -> Optional[MigrationState]:
+        """Drain (part of) the in-flight migration.
+
+        Attempts each pending batch at most once per call; batches that
+        fail (outage, open breaker, burned retry budget) rotate to the
+        back and stay pending, so a dead shard stalls only its own keys.
+        Batch keys are re-validated against live metadata at execution —
+        keys evicted or relocated since planning are silently skipped.
+        Finalizes the resize (ring swap, retired-server teardown) once
+        the queue is empty. Safe to call when no migration is active."""
+        state = self._migration
+        if state is None:
+            return None
+        budget = len(state.pending)
+        if max_batches is not None:
+            budget = min(budget, int(max_batches))
+        while state.pending and budget > 0:
+            budget -= 1
+            batch = state.pending[0]
+            loc = self._imp_loc if batch.layer == "imp" else self._hom_loc
+            live = [k for k in batch.keys if loc.get(k) == batch.src]
+            if not live:
+                state.pending.popleft()  # fully voided by eviction/churn
+                continue
+            try:
+                payloads = self._call_with_retries(
+                    batch.src, "migrate_out", batch.layer, live
+                )
+                entries = {k: payloads[k] for k in live if k in payloads}
+                if entries:
+                    nbytes = sum(
+                        int(np.asarray(v).nbytes) for v in entries.values()
+                    )
+                    self._call_with_retries(
+                        batch.dst, "migrate_in", batch.layer, entries,
+                        nbytes=nbytes,
+                    )
+            except _DEGRADE_ERRORS:
+                state.failed_batches += 1
+                state.pending.rotate(-1)
+                continue
+            state.pending.popleft()
+            for k in entries:
+                loc[k] = batch.dst  # point of no return: reads move over
+            state.moved_keys += len(entries)
+            if entries:
+                try:
+                    self._channel.call(
+                        batch.src,
+                        "bulk_delete",
+                        [(batch.layer, k) for k in entries],
+                    )
+                except _ATTEMPT_ERRORS:
+                    self._pending_deletes.setdefault(batch.src, []).extend(
+                        (batch.layer, k) for k in entries
+                    )
+        if state.done:
+            self._finalize_migration(state)
+        return state
+
+    def _finalize_migration(self, state: MigrationState) -> None:
+        old_n = self._ring.n_shards
+        self._ring = state.target_ring
+        self.n_shards = self._ring.n_shards
+        for sid in range(self.n_shards, old_n):
+            # Retired shards hold no referenced payloads any more; their
+            # queued repairs die with them.
+            self._servers.pop(sid, None)
+            self._breakers.pop(sid, None)
+            self._pending_deletes.pop(sid, None)
+        self.completed_resizes += 1
+        self._migration = None
+
+    def verify_placement(self) -> List[Tuple[str, int, int, Optional[int]]]:
+        """Rebalance-correctness oracle; returns violations (empty = OK).
+
+        Each violation is ``(layer, key, located_shard, expected_shard)``
+        for a key whose location disagrees with the placement ring, or
+        ``(layer, key, located_shard, None)`` for a key whose payload is
+        missing from the shard its metadata points at. While a migration
+        is in flight, not-yet-moved keys legitimately appear as
+        ring-disagreement entries."""
+        ring = self._placement_ring()
+        resident: Dict[Tuple[int, str], Set[int]] = {}
+        for sid, server in self._servers.items():
+            for layer in ("imp", "hom"):
+                resident[(sid, layer)] = set(server.keys(layer))
+        bad: List[Tuple[str, int, int, Optional[int]]] = []
+        for layer, loc in (("imp", self._imp_loc), ("hom", self._hom_loc)):
+            for key, shard in loc.items():
+                expected = ring.shard_for(key)
+                if expected != shard:
+                    bad.append((layer, key, shard, expected))
+                if key not in resident.get((shard, layer), ()):  # lost payload
+                    bad.append((layer, key, shard, None))
+        return bad
+
+    # ------------------------------------------------------------------
+    # snapshots / aggregate accounting
+    # ------------------------------------------------------------------
+    def shard_snapshots(self) -> List[Dict[str, Any]]:
+        """Per-shard service snapshot (pure-local: no RPCs, so snapshots
+        work even mid-outage). Consumed by ``Observer.on_shards`` and the
+        report's shards table."""
+        imp_occ = Counter(self._imp_loc.values())
+        hom_occ = Counter(self._hom_loc.values())
+        ch = self._channel
+        snaps = []
+        for sid in sorted(self._servers):
+            ss = self._shard_stats[sid]
+            snaps.append(
+                {
+                    "shard": sid,
+                    "imp_len": imp_occ.get(sid, 0),
+                    "hom_len": hom_occ.get(sid, 0),
+                    "imp_hits": ss["imp_hits"],
+                    "hom_hits": ss["hom_hits"],
+                    "hom_substitute_hits": ss["hom_substitute_hits"],
+                    "rpc_calls": ch.per_shard_calls.get(sid, 0),
+                    "rpc_failures": ch.per_shard_failures.get(sid, 0)
+                    + ch.per_shard_timeouts.get(sid, 0),
+                    "rpc_timeouts": ch.per_shard_timeouts.get(sid, 0),
+                    "rpc_retries": ss["rpc_retries"],
+                    "rpc_fast_failures": ss["rpc_fast_failures"],
+                    "dropped_admits": ss["dropped_admits"],
+                    "breaker": self._breakers[sid].state.value,
+                }
+            )
+        return snaps
+
+    @property
+    def hit_ratio(self) -> float:
+        """Total hit ratio including homophily substitutions."""
+        return self.stats.hit_ratio
+
+    def __len__(self) -> int:
+        return len(self._imp_loc) + len(self._hom_entries)
+
+    def reset_stats(self) -> None:
+        """Zero the aggregate and per-layer counters."""
+        self.stats.reset()
+        self.degraded.reset()
+        self.importance.stats.reset()
+        self.homophily.stats.reset()
+
+    # ------------------------------------------------------------------
+    # checkpointing (SemanticCache-compatible state_dict)
+    # ------------------------------------------------------------------
+    def _gather(self, layer: str, keys: List[int]) -> List[np.ndarray]:
+        """Collect payloads for ``keys`` via batched read-only exports,
+        grouped per owning shard. Raises on RPC failure or a missing
+        payload — a checkpoint must be exact or not taken at all."""
+        loc = self._imp_loc if layer == "imp" else self._hom_loc
+        by_shard: Dict[int, List[int]] = {}
+        for k in keys:
+            by_shard.setdefault(loc[k], []).append(k)
+        out: Dict[int, Any] = {}
+        for shard, ks in by_shard.items():
+            out.update(self._call_with_retries(shard, "migrate_out", layer, ks))
+        missing = [k for k in keys if k not in out]
+        if missing:
+            raise RuntimeError(
+                f"shard tier lost {len(missing)} {layer} payload(s) "
+                f"(e.g. key {missing[0]}); cannot snapshot"
+            )
+        return [np.asarray(out[k]) for k in keys]
+
+    def state_dict(self) -> dict:
+        """Exact SemanticCache-format snapshot (payloads gathered from
+        the shards). Bit-identical to the monolith's after the same
+        fault-free workload — the differential oracle's equality check."""
+        imp_keys = list(self._imp_loc)
+        imp_payloads = (
+            np.stack(self._gather("imp", imp_keys))
+            if imp_keys
+            else np.empty((0,))
+        )
+        hom_keys = list(self._hom_entries)
+        hom_payloads = (
+            np.stack(self._gather("hom", hom_keys))
+            if hom_keys
+            else np.empty((0,))
+        )
+        return {
+            "total_capacity": self.total_capacity,
+            "imp_ratio": self._imp_ratio,
+            "stats": self.stats.state_dict(),
+            "degraded": self.degraded.state_dict(),
+            "importance": {
+                "capacity": self.importance.capacity,
+                "keys": np.asarray(imp_keys, dtype=np.int64),
+                "payloads": imp_payloads,
+                "heap": self._heap.state_dict(),
+                "stats": self.importance.stats.state_dict(),
+            },
+            "homophily": {
+                "capacity": self.homophily.capacity,
+                "keys": np.asarray(hom_keys, dtype=np.int64),
+                "payloads": hom_payloads,
+                "neighbors": [list(self._hom_entries[k]) for k in hom_keys],
+                "stats": self.homophily.stats.state_dict(),
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot: rebuild metadata, re-place every payload
+        per the current ring. Raises if the shard tier is unreachable —
+        a restore must be complete or not happen."""
+        if int(state["total_capacity"]) != self.total_capacity:
+            raise ValueError("sharded-cache snapshot capacity mismatch")
+        # Drop current residents first (best-effort; leftovers become
+        # orphans that anti-entropy or overwrites clean up).
+        stale: Dict[int, List[Tuple[str, int]]] = {}
+        for layer, loc in (("imp", self._imp_loc), ("hom", self._hom_loc)):
+            for k, s in loc.items():
+                stale.setdefault(s, []).append((layer, k))
+        for shard, entries in stale.items():
+            try:
+                self._channel.call(shard, "bulk_delete", entries)
+            except _ATTEMPT_ERRORS:
+                self._pending_deletes.setdefault(shard, []).extend(entries)
+
+        self._imp_ratio = float(state["imp_ratio"])
+        self.stats.load_state_dict(state["stats"])
+        self.degraded.load_state_dict(state["degraded"])
+        ring = self._placement_ring()
+
+        imp = state["importance"]
+        self.importance.capacity = int(imp["capacity"])
+        self.importance.stats.load_state_dict(imp["stats"])
+        self._heap.load_state_dict(imp["heap"])
+        imp_keys = [int(k) for k in np.asarray(imp["keys"], dtype=np.int64)]
+        payloads = imp["payloads"]
+        self._imp_loc = {}
+        placed: Dict[int, Dict[int, Any]] = {}
+        for i, k in enumerate(imp_keys):
+            shard = ring.shard_for(k)
+            self._imp_loc[k] = shard
+            placed.setdefault(shard, {})[k] = np.asarray(payloads[i])
+        if set(self._heap.keys()) != set(self._imp_loc):
+            raise ValueError("sharded-cache snapshot heap/location mismatch")
+        for shard, entries in placed.items():
+            self._call_with_retries(shard, "migrate_in", "imp", entries)
+
+        hom = state["homophily"]
+        self.homophily.capacity = int(hom["capacity"])
+        self.homophily.stats.load_state_dict(hom["stats"])
+        hom_keys = [int(k) for k in np.asarray(hom["keys"], dtype=np.int64)]
+        neighbors = hom["neighbors"]
+        if len(hom_keys) != len(neighbors):
+            raise ValueError("sharded-cache snapshot keys/neighbors mismatch")
+        payloads = hom["payloads"]
+        self._hom_entries = OrderedDict()
+        self._hom_loc = {}
+        self._neighbor_of = {}
+        placed = {}
+        for i, k in enumerate(hom_keys):
+            neigh = tuple(int(n) for n in neighbors[i])
+            self._hom_entries[k] = neigh
+            shard = ring.shard_for(k)
+            self._hom_loc[k] = shard
+            for n in neigh:
+                self._neighbor_of.setdefault(n, set()).add(k)
+            placed.setdefault(shard, {})[k] = np.asarray(payloads[i])
+        for shard, entries in placed.items():
+            self._call_with_retries(shard, "migrate_in", "hom", entries)

@@ -1,0 +1,115 @@
+"""Consistent-hash ring mapping sample keys to shard servers.
+
+splitmix64-hashed virtual nodes on a 64-bit ring. Each shard owns
+``vnodes`` points whose positions depend only on ``(shard_id, replica,
+seed)`` — *not* on the shard count — so growing the ring from K to K+1
+shards leaves every surviving shard's points in place and only the keys
+that land in the new shard's arcs move (the classic minimal-disruption
+property the live-resize migration relies on).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = ["splitmix64", "ConsistentHashRing", "ring_diff"]
+
+_MASK = (1 << 64) - 1
+#: Default hash-domain seed; any fixed value works, but every participant
+#: of one cache service must agree on it.
+DEFAULT_SEED = 0x5D15C0DE
+
+
+def splitmix64(x: int) -> int:
+    """One splitmix64 finalizer round — a cheap, well-mixed 64-bit hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EB & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+class ConsistentHashRing:
+    """Key -> shard map over splitmix64 virtual nodes.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shard servers (ids ``0..n_shards-1``).
+    vnodes:
+        Virtual nodes per shard; more vnodes = better balance at the cost
+        of a larger sorted point array.
+    seed:
+        Hash-domain seed; rings with equal ``(vnodes, seed)`` and
+        different shard counts share the surviving shards' points.
+    """
+
+    def __init__(self, n_shards: int, vnodes: int = 64,
+                 seed: int = DEFAULT_SEED) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.n_shards = int(n_shards)
+        self.vnodes = int(vnodes)
+        self.seed = int(seed)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.n_shards):
+            for replica in range(self.vnodes):
+                h = splitmix64(
+                    (shard << 32) ^ replica ^ self.seed
+                )
+                points.append((h, shard))
+        points.sort()
+        self._hashes = [p[0] for p in points]
+        self._shards = [p[1] for p in points]
+
+    # ------------------------------------------------------------------
+    def shard_for(self, key: int) -> int:
+        """Owning shard of ``key`` (deterministic)."""
+        h = splitmix64(int(key) ^ self.seed)
+        i = bisect_right(self._hashes, h)
+        if i == len(self._hashes):
+            i = 0  # wrap around the ring
+        return self._shards[i]
+
+    def partition(self, keys: Iterable[int]) -> Dict[int, List[int]]:
+        """Group ``keys`` by owning shard (shards with no keys omitted)."""
+        out: Dict[int, List[int]] = {}
+        for k in keys:
+            out.setdefault(self.shard_for(k), []).append(k)
+        return out
+
+    def spawn(self, n_shards: int) -> "ConsistentHashRing":
+        """A ring of a different size over the same hash domain."""
+        return ConsistentHashRing(n_shards, vnodes=self.vnodes, seed=self.seed)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConsistentHashRing):
+            return NotImplemented
+        return (self.n_shards, self.vnodes, self.seed) == (
+            other.n_shards, other.vnodes, other.seed
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ConsistentHashRing(n_shards={self.n_shards}, "
+                f"vnodes={self.vnodes})")
+
+
+def ring_diff(
+    old: ConsistentHashRing,
+    new: ConsistentHashRing,
+    keys: Iterable[int],
+) -> Dict[int, Tuple[int, int]]:
+    """Keys whose owner changes between two rings.
+
+    Returns ``{key: (old_shard, new_shard)}`` for exactly the keys that
+    must migrate when the ring is resized from ``old`` to ``new``.
+    """
+    moves: Dict[int, Tuple[int, int]] = {}
+    for k in keys:
+        src = old.shard_for(k)
+        dst = new.shard_for(k)
+        if src != dst:
+            moves[int(k)] = (src, dst)
+    return moves

@@ -1,0 +1,180 @@
+"""Simulated RPC channel with deadlines and fault injection.
+
+Every cache-protocol call crosses :class:`SimRpcChannel`, which charges
+per-call latency to the shared :class:`~repro.storage.clock.SimClock`'s
+``"rpc"`` stage and enforces a **per-call deadline**. Failures are
+*classified* — the retry and breaker layers treat them differently:
+
+* :class:`ShardOutageError` — the target shard is inside a
+  :class:`~repro.resilience.faults.FaultPlan` outage window. The request
+  never reaches the server (connection refused); the caller pays the
+  round-trip it took to find out, capped at the deadline. Definite: the
+  call did **not** execute.
+* :class:`RpcTimeoutError` — the call's (possibly brownout-inflated)
+  latency exceeded the deadline. The caller gives up at the deadline but
+  the request *did* reach the server and **did execute** — the ambiguous
+  failure mode real RPCs have, which is why every shard-server mutation
+  is idempotent and the client enqueues anti-entropy repairs for
+  timed-out writes.
+
+Brownouts never fail a call by themselves; they multiply its latency,
+which may push it over the deadline (a brownout-induced timeout is still
+a timeout, not an outage).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Dict, Optional
+
+from repro.obs.observer import NULL_OBSERVER, Observer
+from repro.resilience.faults import FaultPlan
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency, LatencyModel
+
+__all__ = [
+    "RpcError",
+    "ShardOutageError",
+    "RpcTimeoutError",
+    "SimRpcChannel",
+]
+
+#: Simulated bytes of framing/headers added to every call's payload when
+#: sampling its latency.
+RPC_OVERHEAD_NBYTES = 256
+
+
+class RpcError(RuntimeError):
+    """Base class for cache-protocol RPC failures."""
+
+    def __init__(self, shard: int, method: str, detail: str) -> None:
+        super().__init__(f"rpc {method} to shard {shard}: {detail}")
+        self.shard = int(shard)
+        self.method = str(method)
+
+
+class ShardOutageError(RpcError):
+    """The shard is down (fault-plan outage window); call never executed."""
+
+
+class RpcTimeoutError(RpcError):
+    """The call exceeded its deadline; it may still have executed."""
+
+
+class SimRpcChannel:
+    """Single-attempt simulated RPC to a set of shard servers.
+
+    Retries, backoff, and circuit breaking live *above* this channel (in
+    :mod:`repro.dist.retry` / the client); the channel models exactly one
+    attempt: latency, deadline, and fault injection.
+
+    Parameters
+    ----------
+    servers:
+        ``{shard_id: CacheShardServer}``; the dict is shared with the
+        client and mutated on ring resizes.
+    clock:
+        Shared simulated clock; every attempt (including failed ones)
+        charges the :attr:`STAGE` stage.
+    latency:
+        Per-call latency model over the payload size; defaults to a
+        datacenter-RPC-like constant (~0.2 ms per call).
+    deadline_s:
+        Per-call deadline. Calls whose sampled latency exceeds it charge
+        exactly ``deadline_s`` and raise :class:`RpcTimeoutError`.
+    fault_plans:
+        Optional ``{shard_id: FaultPlan}`` injecting per-shard outage and
+        brownout windows, evaluated against the shared clock.
+    """
+
+    STAGE = "rpc"
+
+    def __init__(
+        self,
+        servers: Dict[int, Any],
+        clock: Optional[SimClock] = None,
+        latency: Optional[LatencyModel] = None,
+        deadline_s: float = 0.01,
+        fault_plans: Optional[Dict[int, FaultPlan]] = None,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        self.servers = servers
+        self.clock = clock if clock is not None else SimClock()
+        self.latency = latency if latency is not None else ConstantLatency(
+            base_s=2e-4, bandwidth_bps=10e9
+        )
+        self.deadline_s = float(deadline_s)
+        self.fault_plans: Dict[int, FaultPlan] = dict(fault_plans or {})
+        self.calls = 0
+        self.failures = 0  # outage-classified attempts
+        self.timeouts = 0  # deadline-classified attempts
+        self.per_shard_calls: Counter = Counter()
+        self.per_shard_failures: Counter = Counter()
+        self.per_shard_timeouts: Counter = Counter()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish per-attempt latency/outcome to ``observer``."""
+        self._obs = observer
+
+    # ------------------------------------------------------------------
+    def set_fault_plan(self, shard: int, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear, with ``None``) one shard's fault plan."""
+        if plan is None:
+            self.fault_plans.pop(int(shard), None)
+        else:
+            self.fault_plans[int(shard)] = plan
+
+    def call(self, shard: int, method: str, *args: Any, nbytes: int = 0) -> Any:
+        """One RPC attempt; returns the server method's result.
+
+        Raises :class:`ShardOutageError` / :class:`RpcTimeoutError` per
+        the classification above. ``nbytes`` is the simulated payload
+        size (request or response, whichever dominates).
+        """
+        shard = int(shard)
+        server = self.servers.get(shard)
+        if server is None:
+            raise RpcError(shard, method, "unknown shard")
+        self.calls += 1
+        self.per_shard_calls[shard] += 1
+        now = self.clock.total_seconds
+        plan = self.fault_plans.get(shard)
+        lat = self.latency.sample(int(nbytes) + RPC_OVERHEAD_NBYTES)
+        if plan is not None:
+            if plan.outage_active(now):
+                # Connection refused: pay the (capped) round trip, no
+                # server-side effect.
+                charged = min(lat, self.deadline_s)
+                self.clock.advance(self.STAGE, charged)
+                self.failures += 1
+                self.per_shard_failures[shard] += 1
+                if self._obs.active:
+                    self._obs.on_rpc(shard, method, charged, ok=False,
+                                     error="outage")
+                raise ShardOutageError(
+                    shard, method, f"outage at t={now:.3f}s"
+                )
+            lat *= plan.latency_multiplier(now)
+        if lat > self.deadline_s:
+            # The caller abandons the call at the deadline, but the
+            # request reached the server: it executes anyway (ambiguous
+            # timeout — the result is simply lost).
+            self.clock.advance(self.STAGE, self.deadline_s)
+            getattr(server, method)(*args)
+            self.timeouts += 1
+            self.per_shard_timeouts[shard] += 1
+            if self._obs.active:
+                self._obs.on_rpc(shard, method, self.deadline_s, ok=False,
+                                 error="timeout")
+            raise RpcTimeoutError(
+                shard, method,
+                f"latency {lat * 1e3:.2f}ms exceeded deadline "
+                f"{self.deadline_s * 1e3:.2f}ms",
+            )
+        self.clock.advance(self.STAGE, lat)
+        result = getattr(server, method)(*args)
+        if self._obs.active:
+            self._obs.on_rpc(shard, method, lat)
+        return result

@@ -1,0 +1,116 @@
+"""Shard partition servers.
+
+A :class:`CacheShardServer` owns one partition of the payload bytes for
+both cache layers. It is deliberately *dumb*: all policy decisions
+(admission, eviction order, FIFO turnover, the capacity split, which
+node covers a request) live in the
+:class:`~repro.dist.client.ShardedCacheClient`; the server is a keyed
+payload store with hit counters.
+
+Every mutating method is **idempotent** — puts overwrite, deletes of
+absent keys are no-ops, migration imports overwrite — because the RPC
+channel's timeout semantics are ambiguous (a timed-out call may have
+executed) and the retry layer may replay any call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CacheShardServer"]
+
+_LAYERS = ("imp", "hom")
+
+
+class CacheShardServer:
+    """One shard's partition of the importance + homophily payloads."""
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = int(shard_id)
+        self._stores: Dict[str, Dict[int, Any]] = {"imp": {}, "hom": {}}
+        self.imp_hits = 0
+        self.hom_hits = 0
+        self.hom_substitute_hits = 0
+
+    def _store(self, layer: str) -> Dict[int, Any]:
+        try:
+            return self._stores[layer]
+        except KeyError:
+            raise ValueError(f"unknown layer {layer!r}; expected {_LAYERS}")
+
+    # -- importance layer ----------------------------------------------
+    def imp_get(self, key: int) -> Optional[Any]:
+        """Payload of ``key`` or ``None`` (the client treats ``None`` as
+        a lost entry and degrades to a miss)."""
+        payload = self._stores["imp"].get(int(key))
+        if payload is not None:
+            self.imp_hits += 1
+        return payload
+
+    def imp_put(self, key: int, payload: Any) -> None:
+        """Insert or overwrite (idempotent)."""
+        self._stores["imp"][int(key)] = payload
+
+    def imp_delete(self, key: int) -> None:
+        """Remove if present (idempotent)."""
+        self._stores["imp"].pop(int(key), None)
+
+    # -- homophily layer ------------------------------------------------
+    def hom_get(self, key: int, substitute: bool = False) -> Optional[Any]:
+        """Payload of node ``key``; ``substitute`` only picks the counter."""
+        payload = self._stores["hom"].get(int(key))
+        if payload is not None:
+            if substitute:
+                self.hom_substitute_hits += 1
+            else:
+                self.hom_hits += 1
+        return payload
+
+    def hom_put(self, key: int, payload: Any) -> None:
+        """Insert or overwrite (idempotent)."""
+        self._stores["hom"][int(key)] = payload
+
+    def hom_delete(self, key: int) -> None:
+        """Remove if present (idempotent)."""
+        self._stores["hom"].pop(int(key), None)
+
+    # -- bulk / migration ------------------------------------------------
+    def bulk_delete(self, entries: Iterable[Tuple[str, int]]) -> None:
+        """Anti-entropy repair: drop ``(layer, key)`` pairs (idempotent)."""
+        for layer, key in entries:
+            self._store(layer).pop(int(key), None)
+
+    def migrate_out(self, layer: str, keys: Iterable[int]) -> Dict[int, Any]:
+        """Read-only export of the requested keys that are present."""
+        store = self._store(layer)
+        out: Dict[int, Any] = {}
+        for k in keys:
+            payload = store.get(int(k))
+            if payload is not None:
+                out[int(k)] = payload
+        return out
+
+    def migrate_in(self, layer: str, entries: Dict[int, Any]) -> None:
+        """Import migrated entries, overwriting any stale copies
+        (idempotent — safe to replay after an ambiguous timeout)."""
+        store = self._store(layer)
+        for k, payload in entries.items():
+            store[int(k)] = payload
+
+    # -- introspection ----------------------------------------------------
+    def occupancy(self, layer: str) -> int:
+        """Number of payloads resident in one layer."""
+        return len(self._store(layer))
+
+    def keys(self, layer: str) -> List[int]:
+        """Resident keys of one layer (insertion order)."""
+        return list(self._store(layer).keys())
+
+    def payload_nbytes(self, layer: str, key: int) -> int:
+        """Simulated size of one payload (0 if absent)."""
+        payload = self._store(layer).get(int(key))
+        if payload is None:
+            return 0
+        return int(np.asarray(payload).nbytes)

@@ -205,15 +205,43 @@ class Observer:
         )
 
     # -- sharded cache service -------------------------------------------
-    def on_rpc(self, shard: int, method: str, latency_s: float) -> None:
-        """One cache-protocol RPC completed (metrics only: per-call trace
-        events would dwarf the fetch stream)."""
+    def on_rpc(
+        self,
+        shard: int,
+        method: str,
+        latency_s: float,
+        ok: bool = True,
+        error: Optional[str] = None,
+    ) -> None:
+        """One cache-protocol RPC attempt finished (metrics only: per-call
+        trace events would dwarf the fetch stream).
+
+        ``ok=False`` marks a failed attempt; ``error`` carries its
+        classification (``"outage"`` — the call never executed — or
+        ``"timeout"`` — ambiguous, it may have executed server-side).
+        """
         m = self.metrics
         m.counter("rpc.calls").inc()
         m.counter(f"rpc.shard{int(shard)}.calls").inc()
+        if not ok:
+            m.counter("rpc.failures").inc()
+            m.counter(f"rpc.shard{int(shard)}.failures").inc()
+            if error:
+                m.counter(f"rpc.errors.{error}").inc()
         m.histogram(
             "rpc.latency_s", bounds=(1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
         ).observe(float(latency_s))
+
+    def on_resize(self, old_n: int, new_n: int, planned_moves: int) -> None:
+        """A live ring resize began (key migration planned)."""
+        m = self.metrics
+        m.counter("resize.started").inc()
+        m.counter("resize.planned_moves").inc(planned_moves)
+        m.gauge("resize.n_shards").set(new_n)
+        self.emit(
+            "resize", old_n_shards=int(old_n), new_n_shards=int(new_n),
+            planned_moves=int(planned_moves),
+        )
 
     def on_shards(self, snapshots: List[Dict[str, Any]]) -> None:
         """Per-epoch shard-service snapshot (occupancy, stats, breakers)."""

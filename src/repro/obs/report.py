@@ -297,6 +297,16 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
             f"charged {charged:.3f}s, saved {saved:.3f}s"
         )
 
+    resizes = [e for e in events if e.get("kind") == "resize"]
+    if resizes:
+        lines.append("ring resizes:")
+        for ev in resizes:
+            lines.append(
+                f"  epoch {ev.get('epoch', '?'):>3}: "
+                f"{ev['old_n_shards']} -> {ev['new_n_shards']} shards "
+                f"({ev['planned_moves']} key move(s) planned)"
+            )
+
     shard_events = [e for e in events if e.get("kind") == "shards"]
     if shard_events:
         # Per-epoch snapshots are cumulative; the last one is the run's
@@ -304,7 +314,8 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
         final = shard_events[-1].get("shards", [])
         header = (
             f"  {'shard':>5} {'imp':>5} {'hom':>5} {'imp_hit':>8} "
-            f"{'hom_hit':>8} {'subst':>6} {'rpc':>7} {'fail':>5} {'breaker':>9}"
+            f"{'hom_hit':>8} {'subst':>6} {'rpc':>7} {'fail':>5} "
+            f"{'drops':>5} {'breaker':>9}"
         )
         lines.append("shards (final state):")
         lines.append(header)
@@ -315,6 +326,7 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
                 f"{s.get('hom_hits', 0):>8} {s.get('hom_substitute_hits', 0):>6} "
                 f"{s.get('rpc_calls', 0):>7} "
                 f"{s.get('rpc_failures', 0) + s.get('rpc_fast_failures', 0):>5} "
+                f"{s.get('dropped_admits', 0):>5} "
                 f"{s.get('breaker', '?'):>9}"
             )
 

@@ -27,8 +27,6 @@ import numpy as np
 
 from repro.data.loader import DataLoader
 from repro.data.synthetic import SyntheticDataset
-from repro.dist.client import ShardedCacheClient
-from repro.dist.rpc import SimRpcChannel
 from repro.nn.models import Model
 from repro.nn.optim import SGD
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -42,6 +40,12 @@ from repro.train.trainer import TrainerConfig
 from repro.utils.rng import RngLike, resolve_rng
 
 __all__ = ["DataParallelTrainer", "WorkerState"]
+
+#: SimClock stage the cache-protocol RPC tier charges. Mirrors
+#: ``repro.dist.rpc.SimRpcChannel.STAGE`` without importing it — the
+#: trainer must stay importable when the dist tier is absent or broken
+#: (``repro.dist`` is only imported lazily, at shard-client construction).
+RPC_STAGE = "rpc"
 
 
 @dataclass
@@ -222,22 +226,60 @@ class DataParallelTrainer:
             self._attach_observer()
 
     # ------------------------------------------------------------------
-    def _make_shard_client(self, capacity: int, imp_ratio: float) -> ShardedCacheClient:
-        """Cache-factory hook injected into the rank-0 policy."""
+    def _make_shard_client(self, capacity: int, imp_ratio: float):
+        """Cache-factory hook injected into the rank-0 policy.
+
+        Imports :mod:`repro.dist` lazily so plain (non-sharded) runs and
+        module imports never depend on the dist tier being present.
+        """
+        try:
+            from repro.dist.client import ShardedCacheClient
+            from repro.dist.retry import RetryPolicy
+        except ImportError as exc:  # pragma: no cover - env-specific
+            raise RuntimeError(
+                "cache_shards > 0 needs the sharded cache service "
+                "(repro.dist), which failed to import; run without "
+                "--cache-shards or repair the installation"
+            ) from exc
+        cfg = self.config
         return ShardedCacheClient(
             capacity,
             imp_ratio=imp_ratio,
             n_shards=self.cache_shards,
             clock=self._shared_clock,
             latency=self._rpc_latency,
+            deadline_s=cfg.rpc_deadline_s,
+            retry=RetryPolicy(max_attempts=cfg.rpc_retry_budget),
         )
 
-    def _shared_client(self) -> Optional[ShardedCacheClient]:
-        """The shared sharded-cache client, if this run uses one."""
+    def _shared_client(self):
+        """The shared sharded-cache client, if this run uses one.
+
+        Duck-typed on ``shard_snapshots`` (the one capability the run
+        loop needs) rather than an isinstance check, to keep this module
+        import-independent of ``repro.dist``.
+        """
         if not self.cache_shards:
             return None
         cache = getattr(self.workers[0].policy, "cache", None)
-        return cache if isinstance(cache, ShardedCacheClient) else None
+        return cache if hasattr(cache, "shard_snapshots") else None
+
+    def _maybe_resize_shards(self, client, epoch: int) -> None:
+        """Epoch-boundary live-resize driver.
+
+        At the configured trigger epoch the client plans the migration;
+        every epoch boundary after that drains as many pending batches
+        as the (possibly faulted) shard tier will take, so a stalled
+        migration simply resumes next epoch once outages end and breaker
+        cool-downs elapse. ``cache_shards`` tracks the client's live
+        shard count once the ring swap lands.
+        """
+        at = self.config.resize_shards_at
+        if at is not None and epoch == int(at[0]):
+            client.resize(int(at[1]), drain=False)
+        if client.migration is not None:
+            client.continue_migration()
+        self.cache_shards = client.n_shards
 
     def _attach_observer(self) -> None:
         """Wire the run observer through the shared store and policies."""
@@ -334,8 +376,10 @@ class DataParallelTrainer:
                 w.optimizer.set_epoch(epoch)
             for p in policies:
                 p.before_epoch(epoch)
+            if client is not None:
+                self._maybe_resize_shards(client, epoch)
             load_before = [c.stage_seconds(RemoteStore.STAGE) for c in clocks]
-            rpc_before = [c.stage_seconds(SimRpcChannel.STAGE) for c in clocks]
+            rpc_before = [c.stage_seconds(RPC_STAGE) for c in clocks]
             stats_before = [
                 (s.requests, s.hits + s.substitute_hits, s.hits,
                  s.substitute_hits)
@@ -385,7 +429,7 @@ class DataParallelTrainer:
             # data-path latency; like the shared-store load it is split
             # across the workers issuing the calls.
             rpcs = [
-                (c.stage_seconds(SimRpcChannel.STAGE) - b) / k
+                (c.stage_seconds(RPC_STAGE) - b) / k
                 for c, b in zip(clocks, rpc_before)
             ]
             data_load_s = (

@@ -79,6 +79,16 @@ class TrainerConfig:
     # across `cache_shards` shard servers behind simulated RPC.
     shared_cache: bool = False
     cache_shards: int = 0
+    # Sharded-service fault-tolerance knobs (ignored when cache_shards=0):
+    # per-call RPC deadline and total attempts per logical request (1
+    # disables retries); backoff/jitter shape lives in
+    # repro.dist.retry.RetryPolicy defaults.
+    rpc_deadline_s: float = 0.01
+    rpc_retry_budget: int = 3
+    # Live ring resize: (epoch, new_shard_count) — at that epoch boundary
+    # the shared client re-rings and migrates keys, draining incrementally
+    # at each subsequent boundary if shards are faulting.
+    resize_shards_at: Optional[Tuple[int, int]] = None
 
     def build_schedule(self):
         """Resolve ``lr_schedule`` into a schedule object (or None)."""

@@ -105,3 +105,47 @@ def test_coordinate_applies_one_ratio_to_every_tier(traj):
         assert client.imp_ratio == ratio
         # Both tiers agree on the floor-based capacity split.
         assert mono.importance.capacity == client.importance.capacity
+
+
+@given(traj=st.lists(st.tuples(_std, _acc), min_size=2, max_size=12))
+@settings(max_examples=15, deadline=None)
+def test_coordinate_mid_resize_keeps_tiers_in_lockstep(traj):
+    """The elastic decision lands while the sharded client is mid ring
+    resize (migration stalled by an outage): the split must still apply
+    identically to both tiers, and the later drain must not disturb it."""
+    import numpy as np
+
+    from repro.resilience.faults import FaultPlan, OutageWindow
+
+    mgr = ElasticCacheManager(total_epochs=len(traj), r_start=0.9, r_end=0.5)
+    mono = SemanticCache(20, imp_ratio=0.9)
+    client = ShardedCacheClient(20, imp_ratio=0.9, n_shards=2)
+    payload = lambda i: np.full(2, float(i), dtype=np.float32)
+    for k in range(16):
+        mono.fetch(k, float(k + 1), payload)
+        client.fetch(k, float(k + 1), payload)
+
+    # Start growing the ring; shard 0's batches stall on an outage.
+    client.set_fault_plan(0, FaultPlan(outages=[OutageWindow(0.0, 1e9)]))
+    client.resize(4, drain=False)
+    client.continue_migration()
+
+    for e, (std, acc) in enumerate(traj):
+        ratio = mgr.coordinate(e, std, acc, [mono, client])
+        assert mono.imp_ratio == ratio == client.imp_ratio
+        assert mono.importance.capacity == client.importance.capacity
+        assert mono.homophily.capacity == client.homophily.capacity
+        assert len(client.importance) <= client.importance.capacity
+
+    # Recovery: drain with compute time passing between passes (breaker
+    # cooldowns only elapse when the clock moves).
+    client.set_fault_plan(0, None)
+    for _ in range(50):
+        if client.migration is None:
+            break
+        client.clock.advance("compute", 0.1)
+        client.continue_migration()
+    assert client.migration is None
+    assert client.verify_placement() == []
+    assert mono.importance.capacity == client.importance.capacity
+    assert sorted(mono.importance.keys()) == sorted(client.importance.keys())

@@ -1,0 +1,213 @@
+"""Chaos: outages and brownouts composed with an in-flight migration.
+
+The scenarios here drive the whole fault surface at once — a shard dies
+mid-resize while traffic keeps flowing — and assert the system's load-
+bearing promises: no exception escapes, capacity/metadata invariants
+hold, the migration stalls (never half-applies) and completes after
+recovery, breakers cycle closed -> open -> half-open -> closed, and the
+anti-entropy queues reconverge shard contents with client metadata.
+
+Timing note: breaker fail-fast paths advance *zero* simulated time, so
+drain loops must advance the clock between passes (the real trainer's
+compute time between epoch boundaries) or cooldowns never elapse.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist.client import ShardedCacheClient
+from repro.dist.retry import RetryPolicy
+from repro.obs.observer import Observer
+from repro.resilience.breaker import BreakerState
+from repro.resilience.faults import BrownoutWindow, FaultPlan, OutageWindow
+from repro.storage.clock import SimClock
+from repro.storage.latency import ConstantLatency
+
+pytestmark = pytest.mark.dist
+
+FAST = ConstantLatency(base_s=1e-3, bandwidth_bps=1e15)
+OUTAGE = FaultPlan(outages=[OutageWindow(0.0, 1e9)])
+TOTAL = 40
+
+
+def payload(i):
+    return np.full(4, float(i), dtype=np.float32)
+
+
+def make_client(**kw):
+    kw.setdefault("latency", FAST)
+    kw.setdefault("retry", RetryPolicy(jitter=0.0))
+    kw.setdefault("breaker_cooldown_s", 0.05)
+    return ShardedCacheClient(TOTAL, imp_ratio=0.5, n_shards=2,
+                              clock=SimClock(), **kw)
+
+
+def populate(cli, n_imp=20, n_hom=5):
+    for k in range(n_imp):
+        cli.fetch(k, float(k + 1), payload)
+    for k in range(1000, 1000 + n_hom):
+        cli.update_homophily(k, payload(k), [k + 10000])
+
+
+def check_invariants(cli):
+    """The promises no fault schedule may break."""
+    assert len(cli) <= cli.total_capacity
+    assert len(cli.importance) <= cli.importance.capacity
+    assert len(cli.homophily) <= cli.homophily.capacity
+    assert len(cli._heap) == len(cli._imp_loc)
+    assert set(cli._heap.keys()) == set(cli._imp_loc)
+    assert set(cli._hom_entries) == set(cli._hom_loc)
+    snaps = cli.shard_snapshots()
+    assert sum(s["imp_len"] for s in snaps) == len(cli._imp_loc)
+    assert sum(s["hom_len"] for s in snaps) == len(cli._hom_entries)
+
+
+def drain(cli, max_passes=50):
+    """Epoch-boundary style drain: compute time passes between attempts
+    so breaker cooldowns can elapse."""
+    for _ in range(max_passes):
+        if cli.migration is None:
+            return
+        cli.continue_migration()
+        cli.clock.advance("compute", 0.1)
+    raise AssertionError("migration failed to drain")
+
+
+def test_outage_during_migration_stalls_then_completes():
+    obs = Observer()
+    cli = make_client()
+    cli.attach_observer(obs)
+    populate(cli)
+    state = cli.resize(4, drain=False)
+    assert state.planned_moves > 0
+
+    cli.set_fault_plan(0, OUTAGE)
+    cli.continue_migration()
+    assert not state.done  # batches touching shard 0 stalled
+    assert state.failed_batches > 0
+    stalled = len(state.pending)
+
+    # Traffic continues through the outage: no exceptions, invariants hold.
+    served = 0
+    for k in range(20):
+        out = cli.fetch(k, float(k + 1), payload)
+        assert out.payload is not None
+        served += 1
+    assert served == 20
+    assert cli.degraded_lookups > 0  # shard-0 residents degraded to misses
+    check_invariants(cli)
+
+    br = cli.breakers[0]
+    assert br.state is BreakerState.OPEN
+    assert any(s["breaker"] == "open" for s in cli.shard_snapshots())
+    # Fail-fast rejections cost zero simulated time.
+    before = cli.clock.total_seconds
+    cli.continue_migration()
+    assert len(state.pending) == stalled
+    assert cli.clock.total_seconds == before
+
+    # Recovery: clear the fault, let cooldowns elapse between drains.
+    cli.set_fault_plan(0, None)
+    cli.clock.advance("compute", 0.1)
+    drain(cli)
+    assert cli.migration is None and cli.n_shards == 4
+    assert cli.verify_placement() == []
+    check_invariants(cli)
+    # Breaker cycled through half-open back to closed.
+    transitions = [(e.old.value, e.new.value) for e in br.events]
+    assert ("closed", "open") in transitions
+    assert ("open", "half_open") in transitions
+    assert br.state is BreakerState.CLOSED
+    # The cycle is visible to observability (what `repro report` renders).
+    assert obs.metrics.counter("breaker.opens").value >= 1
+    assert obs.metrics.counter("rpc.errors.outage").value > 0
+    assert obs.metrics.counter("resize.started").value == 1
+
+    # Anti-entropy queues reconverge shard contents with metadata.
+    for k in range(20):
+        cli.fetch(k, float(k + 1), payload)
+    assert not any(cli._pending_deletes.values())
+    for sid, server in cli.servers.items():
+        for layer, loc in (("imp", cli._imp_loc), ("hom", cli._hom_loc)):
+            owned = {k for k, s in loc.items() if s == sid}
+            assert set(server.keys(layer)) == owned
+
+
+def test_admits_during_outage_are_dropped_not_corrupting():
+    cli = make_client(breaker_failure_threshold=1000)
+    populate(cli)
+    before_len = len(cli)
+    before_keys = set(cli._imp_loc) | set(cli._hom_entries)
+    cli.set_fault_plan(0, OUTAGE)
+    cli.set_fault_plan(1, OUTAGE)
+    for k in range(100, 140):
+        cli.fetch(k, float(k), payload)  # every admit put fails
+        cli.update_homophily(3000 + k, payload(k), [k])
+    assert cli.dropped_admits == 80
+    assert len(cli) == before_len  # metadata untouched
+    assert set(cli._imp_loc) | set(cli._hom_entries) == before_keys
+    check_invariants(cli)
+    # Recovery: the cache works again and can admit.
+    cli.set_fault_plan(0, None)
+    cli.set_fault_plan(1, None)
+    cli.clock.advance("compute", 1.0)
+    cli.fetch(500, 500.0, payload)
+    assert 500 in cli.importance
+
+
+def test_brownout_timeouts_leave_shards_consistent():
+    """Brownout-induced timeouts are ambiguous — the mutation lands even
+    though the caller saw a failure. Idempotent servers + anti-entropy
+    must still converge shard contents to the metadata."""
+    cli = make_client(breaker_failure_threshold=1000,
+                      retry=RetryPolicy(max_attempts=2, jitter=0.0))
+    populate(cli)
+    # 20x latency pushes every call over the 10 ms deadline for a while.
+    plan = FaultPlan(brownouts=[BrownoutWindow(0.0, 0.15,
+                                               latency_multiplier=20.0)])
+    cli.set_fault_plan(0, plan)
+    cli.set_fault_plan(1, plan)
+    for k in range(20, 60):
+        cli.fetch(k, float(k + 1), payload)
+    assert cli.channel.timeouts > 0  # the window did bite
+    check_invariants(cli)
+    # Past the window (clock advanced via charged deadlines/backoffs),
+    # traffic is clean again; drain the repair queues.
+    assert cli.clock.total_seconds > 0.15
+    for k in list(cli._imp_loc)[:10]:
+        assert cli.fetch(k, 1000.0, payload).payload is not None
+    for sid in cli.servers:
+        cli._flush_pending(sid)
+    for sid, server in cli.servers.items():
+        for layer, loc in (("imp", cli._imp_loc), ("hom", cli._hom_loc)):
+            owned = {k for k, s in loc.items() if s == sid}
+            # No payload the metadata owns may be missing; orphans from
+            # ambiguous timeouts have been repaired away.
+            assert set(server.keys(layer)) == owned
+    check_invariants(cli)
+
+
+def test_total_blackout_degrades_every_stage_and_recovers():
+    """Remote tier AND all shards down: degraded mode keeps serving
+    substitutes from whatever payloads are still reachable — here none —
+    so every request skips, and nothing corrupts."""
+    from repro.resilience.errors import DegradedModeError
+
+    cli = make_client(breaker_failure_threshold=1000)
+    populate(cli)
+    cli.enable_degraded_mode((DegradedModeError,))
+
+    def dead_remote(i):
+        raise DegradedModeError("remote tier down")
+
+    cli.set_fault_plan(0, OUTAGE)
+    cli.set_fault_plan(1, OUTAGE)
+    outcomes = [cli.fetch(k, float(k + 1), dead_remote) for k in range(30)]
+    assert all(o.source.value in ("degraded", "skipped") for o in outcomes)
+    assert cli.degraded.skipped + cli.degraded.substituted == 30
+    check_invariants(cli)
+    cli.set_fault_plan(0, None)
+    cli.set_fault_plan(1, None)
+    cli.clock.advance("compute", 1.0)
+    out = cli.fetch(0, 1.0, payload)
+    assert out.payload is not None and out.source.value == "importance"
