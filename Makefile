@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-csv examples smoke faults concurrency dist report all
+.PHONY: install test coverage bench bench-csv bench-trajectory examples smoke faults concurrency dist report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -21,6 +21,13 @@ coverage:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Perf trajectory: measure hot-path throughput, write BENCH_<date>.json at
+# the repo root, and soft-gate against the last committed baseline (warns
+# on >20% regressions, never fails). Commit the new file to move the
+# baseline forward; see EXPERIMENTS.md "Performance trajectory".
+bench-trajectory:
+	$(PYTHON) -m repro bench --check
 
 # Same benches, also dumping every table as CSV into results/.
 bench-csv:

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Standalone perf-trajectory runner (delegates to ``repro.bench``).
+
+Measures the hot paths the training loop leans on — LRU/semantic-cache
+ops/sec, HNSW build/query throughput with a recall floor and the seed-path
+speedup ratio, and end-to-end epoch time — and writes ``BENCH_<date>.json``
+at the repo root. Equivalent to ``python -m repro bench`` / ``make
+bench-trajectory``; this entry point exists so the benchmarks directory is
+self-contained and the trajectory can be run without the CLI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py [--quick]
+        [--out-dir DIR] [--no-write] [--check]
+
+Not a pytest bench: the trajectory tracks absolute throughput over time
+(committed baselines, CI soft gate), while the ``test_*`` benches here
+regenerate paper tables/figures and assert shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import (  # noqa: E402  (path bootstrap above)
+    BenchConfig,
+    compare_reports,
+    format_report,
+    latest_baseline,
+    run_trajectory,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced-scale run (CI smoke; incomparable to full baselines)",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO_ROOT,
+        help="directory for BENCH_<date>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="measure and print only"
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="soft-gate against the newest committed BENCH_*.json",
+    )
+    args = parser.parse_args(argv)
+
+    cfg = BenchConfig.quick() if args.quick else BenchConfig()
+    baseline_path = latest_baseline(REPO_ROOT)
+    out_dir = None if args.no_write else args.out_dir
+    report, path = run_trajectory(cfg, out_dir=out_dir)
+    print(format_report(report))
+    if path is not None:
+        print(f"wrote {path}")
+    if args.check and baseline_path is not None:
+        import json
+
+        baseline = json.loads(baseline_path.read_text())
+        for warning in compare_reports(report, baseline):
+            print(f"WARNING: {warning}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

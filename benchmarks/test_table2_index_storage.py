@@ -47,7 +47,9 @@ def _measure():
     pq.train(data[:500], rng=2)
     codes = pq.encode(data)
     adjacency_bytes = sum(
-        4 * sum(len(l) for l in idx._nodes[i].neighbors) for i in idx.ids
+        4 * len(idx.graph_neighbors(i, layer))
+        for i in idx.ids
+        for layer in range(idx.node_level(i) + 1)
     )
     measured = codes.nbytes + adjacency_bytes + 16 * 2000
     estimated = model.index_size_bytes(2000)

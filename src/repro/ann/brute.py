@@ -198,9 +198,15 @@ class BruteForceIndex:
         return results
 
     def neighbors_within(
-        self, query: np.ndarray, radius: float, exclude: Optional[int] = None
+        self,
+        query: np.ndarray,
+        radius: float,
+        exclude: Optional[int] = None,
+        max_neighbors: int = 512,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """All stored points with distance <= ``radius`` from ``query``."""
+        """All stored points with distance <= ``radius`` from ``query``,
+        distance-sorted and truncated to ``max_neighbors`` (matching the
+        batched variant's contract)."""
         n = len(self._ids)
         if n == 0:
             return np.empty(0, dtype=np.int64), np.empty(0)
@@ -210,5 +216,5 @@ class BruteForceIndex:
         if exclude is not None:
             keep &= ids != int(exclude)
         ids, dists = ids[keep], dists[keep]
-        order = np.argsort(dists, kind="stable")
+        order = np.argsort(dists, kind="stable")[:max_neighbors]
         return ids[order], dists[order]

@@ -9,6 +9,25 @@ Structure: every element gets a random top layer ``l`` drawn geometrically
 graph; search greedily descends from the global entry point through upper
 layers, then runs a beam search (width ``ef``) at layer 0.
 
+Storage layout: vectors live in one contiguous ``(capacity, dim)`` float64
+matrix with cached squared norms, and adjacency lists hold *row* indices
+into that matrix — every hop's distance block is one fancy-index + GEMV
+(``||v-q||^2 = ||v||^2 - 2 v·q + ||q||^2`` with ``||v||^2`` precomputed)
+instead of re-stacking per-node vectors. An id→row map keeps the public
+API keyed by stable external ids. Reverse-edge sets mirror the forward
+lists, so detaching a node on dynamic ``update``/``remove`` is O(degree).
+
+:meth:`HNSWIndex.reorder` relabels rows — BFS from the entry point or by
+descending layer-0 degree — so graph-adjacent nodes become memory-adjacent
+(the relabeling trick from *Graph Reordering for Cache-Efficient Near
+Neighbor Search*). Search results are unchanged by construction: every
+traversal orders ties by ``(distance, external id)``, never by row.
+
+:meth:`HNSWIndex.attach_pq` plugs a trained
+:class:`~repro.ann.pq.ProductQuantizer` in as an optional candidate-scoring
+mode (paper §5): traversal distances come from ADC lookup tables over uint8
+codes, and the final beam is re-ranked with exact distances.
+
 Dynamic updates (embeddings drift as the model trains) are supported by
 re-linking: ``update`` detaches the node from all its neighbors and
 re-inserts it with its new vector, preserving its id.
@@ -18,27 +37,20 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.ann.distance import l2_distances
 from repro.utils.rng import RngLike, resolve_rng
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.ann.pq import ProductQuantizer
+
 __all__ = ["HNSWIndex"]
 
-
-class _Node:
-    """One indexed element: its vector and per-layer adjacency lists."""
-
-    __slots__ = ("vector", "neighbors", "level", "deleted")
-
-    def __init__(self, vector: np.ndarray, level: int) -> None:
-        self.vector = vector
-        self.level = level
-        # neighbors[l] is the adjacency list at layer l, for l in 0..level.
-        self.neighbors: List[List[int]] = [[] for _ in range(level + 1)]
-        self.deleted = False
+_FREE = -1  # sentinel in _id_of for rows on the free list
 
 
 class HNSWIndex:
@@ -59,6 +71,9 @@ class HNSWIndex:
         Default beam width during queries (can be overridden per call).
     rng:
         Seed / generator for the level draws (determinism in tests).
+    capacity:
+        Initial row allocation for the vector matrix (grows by doubling).
+        Pre-sizing to the expected element count avoids regrowth copies.
     """
 
     def __init__(
@@ -68,11 +83,14 @@ class HNSWIndex:
         ef_construction: int = 100,
         ef_search: int = 50,
         rng: RngLike = None,
+        capacity: int = 1024,
     ) -> None:
         if dim <= 0:
             raise ValueError("dim must be positive")
         if M < 2:
             raise ValueError("M must be >= 2")
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
         self.dim = int(dim)
         self.M = int(M)
         self.M0 = 2 * int(M)
@@ -80,112 +98,261 @@ class HNSWIndex:
         self.ef_search = int(ef_search)
         self._mL = 1.0 / math.log(M)
         self._rng = resolve_rng(rng)
-        self._nodes: Dict[int, _Node] = {}
-        self._entry: Optional[int] = None
+        # Flat storage: row-indexed vector matrix + cached squared norms.
+        self._vectors = np.empty((int(capacity), self.dim), dtype=np.float64)
+        self._norms = np.empty(int(capacity), dtype=np.float64)
+        self._levels: List[int] = []  # row -> top layer
+        self._out: List[List[List[int]]] = []  # row -> layer -> neighbor rows
+        self._in: List[List[Set[int]]] = []  # row -> layer -> rows linking here
+        self._id_of: List[int] = []  # row -> external id (_FREE when vacant)
+        self._row_of: Dict[int, int] = {}  # external id -> row
+        self._free: List[int] = []  # vacated rows available for reuse
+        self._entry: Optional[int] = None  # external id of the entry point
         self._max_level = -1
+        # (row, layer) -> adjacency as an int64 array; cleared wholesale on
+        # any graph mutation so query workloads materialize each list once.
+        self._adj_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        # Optional PQ/ADC candidate-scoring mode (see attach_pq).
+        self._pq: Optional["ProductQuantizer"] = None
+        self._codes: Optional[np.ndarray] = None
+        self._pq_default = False
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._row_of)
 
     def __contains__(self, item_id: int) -> bool:
-        return int(item_id) in self._nodes
+        return int(item_id) in self._row_of
 
     @property
     def ids(self) -> List[int]:
-        return list(self._nodes)
+        """External ids in insertion order."""
+        return list(self._row_of)
 
     @property
     def max_level(self) -> int:
+        """Top layer of the current entry point (-1 when empty)."""
         return self._max_level
 
     def vector(self, item_id: int) -> np.ndarray:
         """Copy of a stored vector."""
-        return self._nodes[int(item_id)].vector.copy()
+        return self._vectors[self._row_of[int(item_id)]].copy()
+
+    def node_level(self, item_id: int) -> int:
+        """Top layer assigned to a node."""
+        return self._levels[self._row_of[int(item_id)]]
 
     def degree(self, item_id: int, layer: int = 0) -> int:
         """Out-degree of a node at ``layer`` (0 = base proximity graph)."""
-        node = self._nodes[int(item_id)]
-        if layer > node.level:
+        row = self._row_of[int(item_id)]
+        if layer > self._levels[row]:
             return 0
-        return len(node.neighbors[layer])
+        return len(self._out[row][layer])
 
     def graph_neighbors(self, item_id: int, layer: int = 0) -> List[int]:
         """Adjacency list of a node at ``layer`` (copies, safe to mutate)."""
-        node = self._nodes[int(item_id)]
-        if layer > node.level:
+        row = self._row_of[int(item_id)]
+        if layer > self._levels[row]:
             return []
-        return list(node.neighbors[layer])
+        return [self._id_of[r] for r in self._out[row][layer]]
+
+    @property
+    def pq_enabled(self) -> bool:
+        """Whether a ProductQuantizer is attached for ADC candidate scoring."""
+        return self._pq is not None
+
+    # ------------------------------------------------------------------
+    # Row allocation
+    # ------------------------------------------------------------------
+    def _grow(self, min_rows: int) -> None:
+        new_cap = max(4, self._vectors.shape[0])
+        while new_cap < min_rows:
+            new_cap *= 2
+        if new_cap == self._vectors.shape[0]:
+            return
+        used = len(self._id_of)
+        grown = np.empty((new_cap, self.dim), dtype=np.float64)
+        grown[:used] = self._vectors[:used]
+        self._vectors = grown
+        norms = np.empty(new_cap, dtype=np.float64)
+        norms[:used] = self._norms[:used]
+        self._norms = norms
+        if self._codes is not None:
+            codes = np.zeros((new_cap, self._codes.shape[1]), dtype=np.uint8)
+            codes[:used] = self._codes[:used]
+            self._codes = codes
+
+    def _alloc_row(self, item_id: int, vector: np.ndarray, level: int) -> int:
+        """Place ``vector`` in a row (reusing freed rows first)."""
+        if self._free:
+            row = self._free.pop()
+            self._id_of[row] = item_id
+            self._levels[row] = level
+            self._out[row] = [[] for _ in range(level + 1)]
+            self._in[row] = [set() for _ in range(level + 1)]
+        else:
+            row = len(self._id_of)
+            if row >= self._vectors.shape[0]:
+                self._grow(row + 1)
+            self._id_of.append(item_id)
+            self._levels.append(level)
+            self._out.append([[] for _ in range(level + 1)])
+            self._in.append([set() for _ in range(level + 1)])
+        self._vectors[row] = vector
+        self._norms[row] = float(vector @ vector)
+        if self._pq is not None:
+            self._codes[row] = self._pq.encode(vector[None, :])[0]
+        self._row_of[item_id] = row
+        return row
+
+    def _release_row(self, item_id: int) -> None:
+        row = self._row_of.pop(item_id)
+        self._id_of[row] = _FREE
+        self._free.append(row)
 
     # ------------------------------------------------------------------
     # Distance helpers
     # ------------------------------------------------------------------
-    def _dist(self, query: np.ndarray, item_id: int) -> float:
-        v = self._nodes[item_id].vector
-        d = query - v
-        return float(math.sqrt(d @ d))
+    def _dists_rows(
+        self,
+        query: np.ndarray,
+        rows: np.ndarray,
+        qq: float,
+        table: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """*Squared* distances from ``query`` to stored rows — the hot path.
 
-    def _dists(self, query: np.ndarray, item_ids: List[int]) -> np.ndarray:
-        mat = np.stack([self._nodes[i].vector for i in item_ids])
-        return l2_distances(query, mat)
+        One fancy-index + GEMV per call, via the norm expansion
+        ``||v-q||^2 = ||v||^2 - 2 v·q + ||q||^2`` with ``||v||^2`` cached
+        (``qq`` is the precomputed squared query norm). ``table`` switches
+        the kernel to ADC lookups against the attached PQ codes. Squared L2
+        is monotonic in true L2, so every traversal comparison is unchanged;
+        public entry points take one square root at the API boundary.
+        """
+        if table is not None:
+            return self._pq.adc_lookup(table, self._codes[rows], squared=True)
+        sq = self._norms[rows] - 2.0 * (self._vectors[rows] @ query)
+        sq += qq
+        return sq
+
+    @staticmethod
+    def _rows_array(rows: Sequence[int]) -> np.ndarray:
+        return np.fromiter(rows, dtype=np.int64, count=len(rows))
+
+    def _adj_rows(self, row: int, layer: int) -> np.ndarray:
+        """Adjacency of ``(row, layer)`` as a cached int64 row array.
+
+        The cache is invalidated wholesale on any graph mutation; during
+        pure query workloads each adjacency list is materialized exactly
+        once instead of being rebuilt on every hop.
+        """
+        key = (row, layer)
+        arr = self._adj_cache.get(key)
+        if arr is None:
+            arr = np.array(self._out[row][layer], dtype=np.int64)
+            self._adj_cache[key] = arr
+        return arr
 
     # ------------------------------------------------------------------
     # Core search
     # ------------------------------------------------------------------
-    def _greedy_descend(self, query: np.ndarray, start: int, top: int, stop: int) -> int:
+    def _greedy_descend(
+        self,
+        query: np.ndarray,
+        qq: float,
+        start: int,
+        top: int,
+        stop: int,
+        table: Optional[np.ndarray] = None,
+    ) -> Tuple[int, float]:
         """Greedy single-entry search from layer ``top`` down to ``stop+1``.
 
-        Returns the closest node found, used as the entry point for the next
-        lower layer.
+        Returns ``(row, squared distance)`` of the closest node found, used
+        as the entry point for the next lower layer.
         """
         current = start
-        cur_dist = self._dist(query, current)
+        cur_dist = float(
+            self._dists_rows(query, np.asarray([current], dtype=np.int64), qq, table)[0]
+        )
         for layer in range(top, stop, -1):
             improved = True
             while improved:
                 improved = False
-                neigh = self._nodes[current].neighbors[layer]
-                if not neigh:
+                neigh = self._adj_rows(current, layer)
+                if not neigh.size:
                     continue
-                dists = self._dists(query, neigh)
+                dists = self._dists_rows(query, neigh, qq, table)
                 best = int(np.argmin(dists))
                 if dists[best] < cur_dist:
                     cur_dist = float(dists[best])
-                    current = neigh[best]
+                    current = int(neigh[best])
                     improved = True
-        return current
+        return current, cur_dist
 
     def _search_layer(
-        self, query: np.ndarray, entry: int, ef: int, layer: int
-    ) -> List[Tuple[float, int]]:
-        """Beam search at one layer; returns up to ``ef`` (dist, id) pairs,
-        sorted ascending by distance."""
-        entry_dist = self._dist(query, entry)
-        visited: Set[int] = {entry}
-        # Candidate min-heap by distance; result max-heap via negated dist.
-        candidates: List[Tuple[float, int]] = [(entry_dist, entry)]
-        results: List[Tuple[float, int]] = [(-entry_dist, entry)]
+        self,
+        query: np.ndarray,
+        qq: float,
+        entry_row: int,
+        ef: int,
+        layer: int,
+        table: Optional[np.ndarray] = None,
+        entry_dist: Optional[float] = None,
+    ) -> List[Tuple[float, int, int]]:
+        """Beam search at one layer; returns up to ``ef`` triples of
+        ``(squared dist, id, row)`` sorted ascending by ``(dist, id)``.
+
+        Heap ordering ties break on the external id (never the row), so the
+        result sequence is invariant under :meth:`reorder`. Per hop, the
+        frontier filter is a vectorized mask over a row-indexed visited
+        array, and candidates that cannot beat the current beam worst are
+        dropped in bulk before the heap loop (exact: the worst only shrinks,
+        so a candidate at or beyond it can never be admitted later).
+        """
+        if entry_dist is None:
+            entry_dist = float(
+                self._dists_rows(
+                    query, np.asarray([entry_row], dtype=np.int64), qq, table
+                )[0]
+            )
+        entry_id = self._id_of[entry_row]
+        visited = np.zeros(len(self._id_of), dtype=bool)
+        visited[entry_row] = True
+        # Candidate min-heap by (dist, id); result max-heap via negated dist.
+        candidates: List[Tuple[float, int, int]] = [(entry_dist, entry_id, entry_row)]
+        results: List[Tuple[float, int, int]] = [(-entry_dist, entry_id, entry_row)]
+        id_of = self._id_of
+        push, pop = heapq.heappush, heapq.heappop
         while candidates:
-            cand_dist, cand = heapq.heappop(candidates)
-            if cand_dist > -results[0][0] and len(results) >= ef:
-                break
-            neigh = [n for n in self._nodes[cand].neighbors[layer] if n not in visited]
-            if not neigh:
-                continue
-            visited.update(neigh)
-            dists = self._dists(query, neigh)
+            cand_dist, _, cand_row = pop(candidates)
             worst = -results[0][0]
-            for nid, nd in zip(neigh, dists):
-                nd = float(nd)
-                if len(results) < ef or nd < worst:
-                    heapq.heappush(candidates, (nd, nid))
-                    heapq.heappush(results, (-nd, nid))
+            full = len(results) >= ef
+            if full and cand_dist > worst:
+                break
+            adj = self._adj_rows(cand_row, layer)
+            fresh = adj[~visited[adj]]
+            if not fresh.size:
+                continue
+            visited[fresh] = True
+            dists = self._dists_rows(query, fresh, qq, table)
+            if full:
+                keep = dists < worst
+                if not keep.all():
+                    fresh = fresh[keep]
+                    if not fresh.size:
+                        continue
+                    dists = dists[keep]
+            for row, nd in zip(fresh.tolist(), dists.tolist()):
+                if nd < worst or len(results) < ef:
+                    nid = id_of[row]
+                    push(candidates, (nd, nid, row))
+                    push(results, (-nd, nid, row))
                     if len(results) > ef:
-                        heapq.heappop(results)
+                        pop(results)
                     worst = -results[0][0]
-        out = [(-d, i) for d, i in results]
+        out = [(-d, i, r) for d, i, r in results]
         out.sort()
         return out
 
@@ -193,34 +360,46 @@ class HNSWIndex:
     # Neighbor selection (simple heuristic from the paper's Algorithm 4)
     # ------------------------------------------------------------------
     def _select_neighbors(
-        self, query: np.ndarray, candidates: List[Tuple[float, int]], m: int
+        self, candidates: List[Tuple[float, int, int]], m: int
     ) -> List[int]:
         """Diversified neighbor selection: keep a candidate only if it is
         closer to the query than to every already-selected neighbor. Falls
-        back to nearest-first fill if the heuristic under-selects."""
+        back to nearest-first fill if the heuristic under-selects.
+
+        ``candidates`` are ``(squared dist_to_query, id, row)`` triples in
+        the order to consider; returns selected rows. The candidate-candidate
+        distance block is computed once as a matrix instead of per pair, and
+        the dominance test compares squared distances on both sides (the
+        ordering is identical to true L2).
+        """
+        if not candidates:
+            return []
+        rows = self._rows_array([r for _, _, r in candidates])
+        dists = np.asarray([d for d, _, _ in candidates])
+        vecs = self._vectors[rows]
+        norms = self._norms[rows]
+        cross = norms[:, None] + norms[None, :] - 2.0 * (vecs @ vecs.T)
+        np.maximum(cross, 0.0, out=cross)
         selected: List[int] = []
-        selected_vecs: List[np.ndarray] = []
         skipped: List[int] = []
-        for dist, cid in candidates:
+        for i in range(len(candidates)):
             if len(selected) >= m:
                 break
-            vec = self._nodes[cid].vector
+            row_cross = cross[i]
             dominated = False
-            for sv in selected_vecs:
-                diff = vec - sv
-                if math.sqrt(diff @ diff) < dist:
+            for j in selected:
+                if row_cross[j] < dists[i]:
                     dominated = True
                     break
             if dominated:
-                skipped.append(cid)
+                skipped.append(i)
             else:
-                selected.append(cid)
-                selected_vecs.append(vec)
-        for cid in skipped:
+                selected.append(i)
+        for i in skipped:
             if len(selected) >= m:
                 break
-            selected.append(cid)
-        return selected
+            selected.append(i)
+        return [int(rows[i]) for i in selected]
 
     # ------------------------------------------------------------------
     # Mutation
@@ -232,50 +411,66 @@ class HNSWIndex:
         vector = np.ascontiguousarray(np.asarray(vector, dtype=np.float64).ravel())
         if vector.shape[0] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {vector.shape[0]}")
-        if item_id in self._nodes:
+        self._adj_cache.clear()
+        if item_id in self._row_of:
+            level = self._levels[self._row_of[item_id]]
             self._detach(item_id)
-            level = self._nodes.pop(item_id).level
+            self._release_row(item_id)
         else:
             level = int(-math.log(max(self._rng.random(), 1e-300)) * self._mL)
-        node = _Node(vector, level)
-        self._nodes[item_id] = node
+        row = self._alloc_row(item_id, vector, level)
 
         if self._entry is None:
             self._entry = item_id
             self._max_level = level
             return
 
-        entry = self._entry
+        qq = self._norms[row]
+        entry_row = self._row_of[self._entry]
         if level < self._max_level:
-            entry = self._greedy_descend(vector, entry, self._max_level, level)
+            entry_row, _ = self._greedy_descend(
+                vector, qq, entry_row, self._max_level, level
+            )
 
         for layer in range(min(level, self._max_level), -1, -1):
-            candidates = self._search_layer(vector, entry, self.ef_construction, layer)
+            candidates = self._search_layer(
+                vector, qq, entry_row, self.ef_construction, layer
+            )
             m = self.M0 if layer == 0 else self.M
-            chosen = self._select_neighbors(vector, candidates, m)
-            node.neighbors[layer] = list(chosen)
-            for cid in chosen:
-                cneigh = self._nodes[cid].neighbors[layer]
-                cneigh.append(item_id)
-                limit = self.M0 if layer == 0 else self.M
-                if len(cneigh) > limit:
-                    self._prune(cid, layer, limit)
+            chosen = self._select_neighbors(candidates, m)
+            self._out[row][layer] = list(chosen)
+            for crow in chosen:
+                self._in[crow][layer].add(row)
+                self._in[row][layer].add(crow)
+                cadj = self._out[crow][layer]
+                cadj.append(row)
+                if len(cadj) > m:
+                    self._prune(crow, layer, m)
             if candidates:
-                entry = candidates[0][1]
+                entry_row = candidates[0][2]
+
+        # The layer searches above populate the adjacency cache from the
+        # pre-link graph; linking then mutates it, so flush again on exit.
+        self._adj_cache.clear()
 
         if level > self._max_level:
             self._max_level = level
             self._entry = item_id
 
-    def _prune(self, item_id: int, layer: int, limit: int) -> None:
+    def _prune(self, row: int, layer: int, limit: int) -> None:
         """Shrink a node's adjacency list back to ``limit`` using the
-        diversified selection heuristic."""
-        node = self._nodes[item_id]
-        neigh = node.neighbors[layer]
-        dists = self._dists(node.vector, neigh)
+        diversified selection heuristic, keeping reverse edges consistent."""
+        self._adj_cache.clear()
+        adj = self._out[row][layer]
+        rows = self._rows_array(adj)
+        dists = self._dists_rows(self._vectors[row], rows, self._norms[row])
         order = np.argsort(dists, kind="stable")
-        cand = [(float(dists[i]), neigh[i]) for i in order]
-        node.neighbors[layer] = self._select_neighbors(node.vector, cand, limit)
+        cand = [(float(dists[i]), self._id_of[adj[i]], adj[i]) for i in order]
+        kept = self._select_neighbors(cand, limit)
+        dropped = set(adj) - set(kept)
+        self._out[row][layer] = kept
+        for other in dropped:
+            self._in[other][layer].discard(row)
 
     def add_batch(self, item_ids: np.ndarray, vectors: np.ndarray) -> None:
         """Insert or update many vectors sequentially."""
@@ -283,6 +478,7 @@ class HNSWIndex:
         item_ids = np.asarray(item_ids).ravel()
         if len(item_ids) != len(vectors):
             raise ValueError("item_ids and vectors length mismatch")
+        self._grow(len(self._row_of) + len(item_ids))
         for i, v in zip(item_ids, vectors):
             self.add(int(i), v)
 
@@ -290,39 +486,80 @@ class HNSWIndex:
     update = add
 
     def _detach(self, item_id: int) -> None:
-        """Remove all edges pointing to ``item_id`` and repair entry point."""
-        node = self._nodes[item_id]
-        for layer in range(node.level + 1):
-            for nid in node.neighbors[layer]:
-                other = self._nodes.get(nid)
-                if other is not None and layer <= other.level:
-                    try:
-                        other.neighbors[layer].remove(item_id)
-                    except ValueError:
-                        pass
-        # Also scan for dangling one-way edges into this node. One-way edges
-        # can exist after pruning, so a full sweep keeps the graph clean.
-        for other_id, other in self._nodes.items():
-            if other_id == item_id:
-                continue
-            for layer in range(other.level + 1):
-                if item_id in other.neighbors[layer]:
-                    other.neighbors[layer].remove(item_id)
+        """Remove all edges touching ``item_id`` and repair the entry point.
+
+        O(degree) via the reverse-edge sets: only the node's own out-edges
+        and the nodes that link *to* it are visited, never the whole graph.
+        """
+        self._adj_cache.clear()
+        row = self._row_of[item_id]
+        for layer in range(self._levels[row] + 1):
+            for other in self._out[row][layer]:
+                self._in[other][layer].discard(row)
+            for other in self._in[row][layer]:
+                try:
+                    self._out[other][layer].remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+            self._out[row][layer] = []
+            self._in[row][layer] = set()
         if self._entry == item_id:
             self._entry = None
             self._max_level = -1
-            for oid, other in self._nodes.items():
-                if oid != item_id and other.level > self._max_level:
-                    self._max_level = other.level
+            for oid, orow in self._row_of.items():
+                if oid != item_id and self._levels[orow] > self._max_level:
+                    self._max_level = self._levels[orow]
                     self._entry = oid
 
     def remove(self, item_id: int) -> None:
         """Delete an element entirely."""
         item_id = int(item_id)
-        if item_id not in self._nodes:
+        if item_id not in self._row_of:
             raise KeyError(item_id)
         self._detach(item_id)
-        del self._nodes[item_id]
+        self._release_row(item_id)
+
+    # ------------------------------------------------------------------
+    # Product-Quantization candidate scoring
+    # ------------------------------------------------------------------
+    def attach_pq(self, pq: "ProductQuantizer", default: bool = False) -> None:
+        """Attach a *trained* ProductQuantizer for ADC candidate scoring.
+
+        Every stored vector is encoded to uint8 codes (kept in sync on
+        add/update); ``search(..., mode="pq")`` then scores traversal
+        candidates via ADC lookup tables and re-ranks the final beam with
+        exact distances. ``default=True`` makes ``mode=None`` searches use
+        PQ scoring without callers opting in per query.
+        """
+        if not pq.is_trained:
+            raise RuntimeError("attach_pq requires a trained ProductQuantizer")
+        if pq.dim != self.dim:
+            raise ValueError(f"PQ dim {pq.dim} != index dim {self.dim}")
+        self._pq = pq
+        self._pq_default = bool(default)
+        self._codes = np.zeros((self._vectors.shape[0], pq.m), dtype=np.uint8)
+        live = [row for row in self._row_of.values()]
+        if live:
+            rows = self._rows_array(live)
+            self._codes[rows] = pq.encode(self._vectors[rows])
+
+    def detach_pq(self) -> None:
+        """Drop the attached quantizer; searches revert to exact scoring."""
+        self._pq = None
+        self._codes = None
+        self._pq_default = False
+
+    def _resolve_mode(self, query: np.ndarray, mode: Optional[str]):
+        """Map a search ``mode`` to ``(adc_table_or_None, uses_pq)``."""
+        if mode is None:
+            mode = "pq" if (self._pq is not None and self._pq_default) else "exact"
+        if mode == "exact":
+            return None, False
+        if mode == "pq":
+            if self._pq is None:
+                raise RuntimeError("mode='pq' requires attach_pq() first")
+            return self._pq.adc_table(query), True
+        raise ValueError(f"unknown search mode {mode!r}")
 
     # ------------------------------------------------------------------
     # Queries
@@ -333,22 +570,218 @@ class HNSWIndex:
         k: int,
         ef: Optional[int] = None,
         exclude: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Approximate k-NN. Returns ``(ids, distances)`` ascending."""
+        """Approximate k-NN. Returns ``(ids, distances)`` ascending.
+
+        ``exclude`` drops one id from the results; the beam is widened by
+        one slot so the exclusion cannot under-fill the k requested results.
+        ``mode`` selects the candidate-scoring kernel: ``"exact"`` (default)
+        or ``"pq"`` (ADC against the attached quantizer, exact re-rank).
+        """
         if self._entry is None:
             return np.empty(0, dtype=np.int64), np.empty(0)
         query = np.asarray(query, dtype=np.float64).ravel()
-        ef = max(int(ef if ef is not None else self.ef_search), k)
-        entry = self._greedy_descend(query, self._entry, self._max_level, 0)
-        results = self._search_layer(query, entry, ef, 0)
-        ids = [i for _, i in results]
-        dists = [d for d, _ in results]
+        if query.shape[0] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {query.shape[0]}")
+        k = int(k)
+        ef_eff = max(int(ef if ef is not None else self.ef_search), k)
         if exclude is not None:
-            pairs = [(d, i) for d, i in zip(dists, ids) if i != int(exclude)]
-            dists = [d for d, _ in pairs]
-            ids = [i for _, i in pairs]
-        k = min(int(k), len(ids))
-        return np.asarray(ids[:k], dtype=np.int64), np.asarray(dists[:k])
+            # The beam must hold k survivors plus the excluded id.
+            ef_eff += 1
+        table, uses_pq = self._resolve_mode(query, mode)
+        qq = float(query @ query)
+        entry_row, entry_dist = self._greedy_descend(
+            query, qq, self._row_of[self._entry], self._max_level, 0, table
+        )
+        results = self._search_layer(
+            query, qq, entry_row, ef_eff, 0, table, entry_dist
+        )
+        if exclude is not None:
+            excl = int(exclude)
+            results = [t for t in results if t[1] != excl]
+        if uses_pq and results:
+            # Re-rank the surviving beam with exact (squared) distances.
+            rows = self._rows_array([r for _, _, r in results])
+            exact = self._dists_rows(query, rows, qq)
+            results = sorted(
+                (float(d), i, r)
+                for d, (_, i, r) in zip(exact, results)
+            )
+        k = min(k, len(results))
+        ids = np.asarray([i for _, i, _ in results[:k]], dtype=np.int64)
+        # Traversal works in squared L2; convert once at the API boundary.
+        sq = np.asarray([d for d, _, _ in results[:k]], dtype=np.float64)
+        np.maximum(sq, 0.0, out=sq)
+        return ids, np.sqrt(sq)
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int,
+        ef: Optional[int] = None,
+        exclude: Optional[np.ndarray] = None,
+        mode: Optional[str] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """k-NN for many queries; same contract as brute-force
+        ``search_batch``: ``(ids, dists)`` of shape ``(n_queries, k)``, rows
+        padded with ``-1``/``inf``.
+
+        Exact-mode batches run the layer-0 beams in *lockstep*: every
+        macro-hop pops one candidate per still-active query, concatenates
+        their frontier adjacencies, and scores them in a single gather +
+        einsum call — amortizing the per-hop numpy dispatch overhead over
+        the whole batch. Queries are independent, so lockstep is pure
+        scheduling: each row of the output matches calling :meth:`search`
+        on that query alone (distances agree up to floating-point summation
+        order in the fused kernel; ids are identical away from exact ties).
+        ``exclude[i]`` (ids, ``-1`` = none) mirrors the batched brute-force
+        semantics. PQ mode builds one ADC table per query and stays on the
+        per-query path.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        nq = queries.shape[0]
+        k = int(k)
+        if exclude is not None:
+            exclude = np.asarray(exclude).ravel()
+            if exclude.shape[0] != nq:
+                raise ValueError("exclude and queries length mismatch")
+        out_ids = np.full((nq, k), -1, dtype=np.int64)
+        out_d = np.full((nq, k), np.inf)
+        if self._entry is None or nq == 0:
+            return out_ids, out_d
+        if queries.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {queries.shape[1]}")
+        resolved = mode
+        if resolved is None:
+            resolved = "pq" if (self._pq is not None and self._pq_default) else "exact"
+        if resolved == "pq":
+            for qi in range(nq):
+                excl = None
+                if exclude is not None and exclude[qi] >= 0:
+                    excl = int(exclude[qi])
+                ids, dists = self.search(
+                    queries[qi], k, ef=ef, exclude=excl, mode="pq"
+                )
+                out_ids[qi, : ids.shape[0]] = ids
+                out_d[qi, : ids.shape[0]] = dists
+            return out_ids, out_d
+        if resolved != "exact":
+            raise ValueError(f"unknown search mode {resolved!r}")
+
+        base_ef = max(int(ef if ef is not None else self.ef_search), k)
+        efs = np.full(nq, base_ef, dtype=np.int64)
+        if exclude is not None:
+            # Same widening as search(): the beam must hold k survivors
+            # plus the excluded id — only for queries that exclude one.
+            efs[exclude >= 0] += 1
+        qq = np.einsum("ij,ij->i", queries, queries)
+        # Chunk so the (chunk, rows) visited matrix stays modest.
+        n_rows = max(len(self._id_of), 1)
+        chunk = max(1, min(256, (32 << 20) // n_rows))
+        for start in range(0, nq, chunk):
+            stop = min(nq, start + chunk)
+            per_query = self._search_layer0_batch(
+                queries[start:stop], qq[start:stop], efs[start:stop]
+            )
+            for off, results in enumerate(per_query):
+                qi = start + off
+                if exclude is not None and exclude[qi] >= 0:
+                    excl = int(exclude[qi])
+                    results = [t for t in results if t[1] != excl]
+                m = min(k, len(results))
+                if m:
+                    out_ids[qi, :m] = [i for _, i, _ in results[:m]]
+                    sq = np.asarray([d for d, _, _ in results[:m]])
+                    np.maximum(sq, 0.0, out=sq)
+                    out_d[qi, :m] = np.sqrt(sq)
+        return out_ids, out_d
+
+    def _search_layer0_batch(
+        self, queries: np.ndarray, qq: np.ndarray, efs: np.ndarray
+    ) -> List[List[Tuple[float, int, int]]]:
+        """Lockstep layer-0 beam search for a chunk of queries.
+
+        Per macro-round, one candidate is popped per active query; all their
+        frontier adjacencies are scored in a single vectorized call. Each
+        query's pop/admit sequence replays exactly what :meth:`_search_layer`
+        would do (queries share no state); the only difference from the
+        per-query path is the fused distance kernel's summation order, a
+        1-ulp-level effect on the returned distances.
+        """
+        nq = queries.shape[0]
+        id_of = self._id_of
+        push, pop = heapq.heappush, heapq.heappop
+        ef_of = [int(e) for e in efs]
+        entry_row = self._row_of[self._entry]
+        visited = np.zeros((nq, len(id_of)), dtype=bool)
+        candidates: List[List[Tuple[float, int, int]]] = []
+        results: List[List[Tuple[float, int, int]]] = []
+        for i in range(nq):
+            row, d = self._greedy_descend(
+                queries[i], float(qq[i]), entry_row, self._max_level, 0
+            )
+            nid = id_of[row]
+            visited[i, row] = True
+            candidates.append([(d, nid, row)])
+            results.append([(-d, nid, row)])
+        worst_of = np.empty(nq)
+        active = list(range(nq))
+        while active:
+            popped_q: List[int] = []
+            popped_rows: List[int] = []
+            for i in active:
+                cand = candidates[i]
+                if not cand:
+                    continue
+                d, _, row = pop(cand)
+                res = results[i]
+                if len(res) >= ef_of[i] and d > -res[0][0]:
+                    continue
+                popped_q.append(i)
+                popped_rows.append(row)
+            active = popped_q
+            if not popped_q:
+                break
+            adjs = [self._adj_rows(r, 0) for r in popped_rows]
+            lens = [a.size for a in adjs]
+            if not any(lens):
+                continue
+            rows_all = np.concatenate(adjs)
+            qarr = np.repeat(np.asarray(popped_q, dtype=np.int64), lens)
+            fresh = ~visited[qarr, rows_all]
+            if not fresh.any():
+                continue
+            rows_f = rows_all[fresh]
+            q_f = qarr[fresh]
+            visited[q_f, rows_f] = True
+            gathered = self._vectors[rows_f]
+            sq = self._norms[rows_f] - 2.0 * np.einsum(
+                "ij,ij->i", gathered, queries[q_f]
+            )
+            sq += qq[q_f]
+            for i in popped_q:
+                res = results[i]
+                worst_of[i] = -res[0][0] if len(res) >= ef_of[i] else np.inf
+            keep = sq < worst_of[q_f]
+            if not keep.all():
+                rows_f = rows_f[keep]
+                q_f = q_f[keep]
+                sq = sq[keep]
+            for i, row, nd in zip(q_f.tolist(), rows_f.tolist(), sq.tolist()):
+                res = results[i]
+                if nd < -res[0][0] or len(res) < ef_of[i]:
+                    nid = id_of[row]
+                    push(candidates[i], (nd, nid, row))
+                    push(res, (-nd, nid, row))
+                    if len(res) > ef_of[i]:
+                        pop(res)
+        out: List[List[Tuple[float, int, int]]] = []
+        for res in results:
+            triples = [(-d, i, r) for d, i, r in res]
+            triples.sort()
+            out.append(triples)
+        return out
 
     def neighbors_within(
         self,
@@ -357,14 +790,111 @@ class HNSWIndex:
         ef: Optional[int] = None,
         exclude: Optional[int] = None,
         max_neighbors: int = 512,
+        mode: Optional[str] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate range query: beam-search then filter by ``radius``.
 
         ``max_neighbors`` caps the beam (paper's ``neighbormax``-scale bound).
         """
-        ids, dists = self.search(query, k=max_neighbors, ef=ef, exclude=exclude)
+        ids, dists = self.search(
+            query, k=max_neighbors, ef=ef, exclude=exclude, mode=mode
+        )
         keep = dists <= radius
         return ids[keep], dists[keep]
+
+    def neighbors_within_batch(
+        self,
+        queries: np.ndarray,
+        radius: float,
+        exclude: Optional[np.ndarray] = None,
+        max_neighbors: int = 512,
+        ef: Optional[int] = None,
+        mode: Optional[str] = None,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Batched range query with the brute-force backend's signature.
+
+        Returns one ``(ids, dists)`` pair per query, distance-sorted and
+        truncated to ``max_neighbors``; ``exclude[i]`` (if given, ``-1`` =
+        none) removes one id from query ``i``'s results. Runs on the
+        lockstep batched beam (see :meth:`search_batch`), so the whole
+        scorer sweep shares vectorized distance calls.
+        """
+        ids_mat, d_mat = self.search_batch(
+            queries, k=max_neighbors, ef=ef, exclude=exclude, mode=mode
+        )
+        results: List[Tuple[np.ndarray, np.ndarray]] = []
+        for qi in range(ids_mat.shape[0]):
+            keep = (ids_mat[qi] >= 0) & (d_mat[qi] <= radius)
+            results.append((ids_mat[qi][keep], d_mat[qi][keep]))
+        return results
+
+    # ------------------------------------------------------------------
+    # Graph reordering (cache locality)
+    # ------------------------------------------------------------------
+    def reorder(self, strategy: str = "bfs") -> np.ndarray:
+        """Relabel storage rows for cache-efficient traversal.
+
+        ``"bfs"`` walks the layer-0 graph breadth-first from the entry point
+        so hop-adjacent nodes land in adjacent rows; ``"degree"`` packs
+        nodes by descending layer-0 degree (hubs first). Freed rows are
+        compacted away. Search results are bit-identical before and after:
+        all traversal ordering keys on ``(distance, external id)``.
+
+        Returns the external ids in their new row order.
+        """
+        live = list(self._row_of.values())
+        if not live:
+            return np.empty(0, dtype=np.int64)
+        order: List[int] = []
+        if strategy == "bfs":
+            seen = [False] * len(self._id_of)
+            start = self._row_of[self._entry]
+            queue = deque([start])
+            seen[start] = True
+            while queue:
+                row = queue.popleft()
+                order.append(row)
+                for nxt in self._out[row][0]:
+                    if not seen[nxt]:
+                        seen[nxt] = True
+                        queue.append(nxt)
+            # Rows unreachable from the entry at layer 0, insertion order.
+            for row in live:
+                if not seen[row]:
+                    order.append(row)
+        elif strategy == "degree":
+            order = sorted(live, key=lambda r: -len(self._out[r][0]))
+        else:
+            raise ValueError(f"unknown reorder strategy {strategy!r}")
+
+        new_of_old = {old: new for new, old in enumerate(order)}
+        n = len(order)
+        vectors = np.empty_like(self._vectors)
+        norms = np.empty_like(self._norms)
+        rows_arr = self._rows_array(order)
+        vectors[:n] = self._vectors[rows_arr]
+        norms[:n] = self._norms[rows_arr]
+        if self._codes is not None:
+            codes = np.zeros_like(self._codes)
+            codes[:n] = self._codes[rows_arr]
+            self._codes = codes
+        self._levels = [self._levels[old] for old in order]
+        self._out = [
+            [[new_of_old[t] for t in adj] for adj in self._out[old]]
+            for old in order
+        ]
+        self._in = [
+            [{new_of_old[t] for t in adj} for adj in self._in[old]]
+            for old in order
+        ]
+        self._id_of = [self._id_of[old] for old in order]
+        # Preserve the id dict's insertion order (it backs the `ids` prop).
+        self._row_of = {iid: new_of_old[old] for iid, old in self._row_of.items()}
+        self._vectors = vectors
+        self._norms = norms
+        self._free = []
+        self._adj_cache.clear()
+        return np.asarray(self._id_of, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -373,25 +903,27 @@ class HNSWIndex:
         """Serialize the index to an ``.npz`` archive.
 
         Stores vectors, per-node levels, flattened adjacency, and the
-        construction parameters. The RNG state is not saved: a loaded index
-        continues with fresh level draws, which only affects *future*
-        inserts' layer assignment, not correctness.
+        construction parameters. The RNG state and any attached quantizer
+        are not saved: a loaded index continues with fresh level draws and
+        exact scoring, which only affects *future* inserts' layer
+        assignment, not correctness.
         """
         import json
         from pathlib import Path
 
-        ids = list(self._nodes)
+        ids = list(self._row_of)
+        rows = [self._row_of[i] for i in ids]
         vectors = (
-            np.stack([self._nodes[i].vector for i in ids])
+            self._vectors[self._rows_array(rows)]
             if ids else np.empty((0, self.dim))
         )
-        levels = np.asarray([self._nodes[i].level for i in ids], dtype=np.int64)
+        levels = np.asarray([self._levels[r] for r in rows], dtype=np.int64)
         # Flatten adjacency as (node_pos, layer, neighbor_id) triples.
         triples = []
-        for pos, i in enumerate(ids):
-            for layer, neigh in enumerate(self._nodes[i].neighbors):
-                for nid in neigh:
-                    triples.append((pos, layer, nid))
+        for pos, r in enumerate(rows):
+            for layer, neigh in enumerate(self._out[r]):
+                for nrow in neigh:
+                    triples.append((pos, layer, self._id_of[nrow]))
         adjacency = (
             np.asarray(triples, dtype=np.int64)
             if triples else np.empty((0, 3), dtype=np.int64)
@@ -419,31 +951,75 @@ class HNSWIndex:
 
         with np.load(Path(path)) as data:
             header = json.loads(bytes(data["header"]).decode("utf-8"))
+            ids = data["ids"]
             idx = cls(
                 header["dim"], M=header["M"],
                 ef_construction=header["ef_construction"],
                 ef_search=header["ef_search"], rng=rng,
+                capacity=max(len(ids), 1),
             )
-            ids = data["ids"]
             vectors = data["vectors"]
             levels = data["levels"]
             for i, v, lvl in zip(ids, vectors, levels):
-                idx._nodes[int(i)] = _Node(
-                    np.ascontiguousarray(v, dtype=np.float64), int(lvl)
+                idx._alloc_row(
+                    int(i),
+                    np.ascontiguousarray(v, dtype=np.float64),
+                    int(lvl),
                 )
             for pos, layer, nid in data["adjacency"]:
-                idx._nodes[int(ids[pos])].neighbors[int(layer)].append(int(nid))
+                srow = idx._row_of[int(ids[pos])]
+                trow = idx._row_of[int(nid)]
+                idx._out[srow][int(layer)].append(trow)
+                idx._in[trow][int(layer)].add(srow)
             idx._entry = header["entry"]
             idx._max_level = header["max_level"]
         return idx
 
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
     def check_symmetric_reachability(self) -> float:
         """Fraction of layer-0 edges that are bidirectional (diagnostic)."""
         total = 0
         sym = 0
-        for nid, node in self._nodes.items():
-            for other in node.neighbors[0]:
+        for row in self._row_of.values():
+            for other in self._out[row][0]:
                 total += 1
-                if nid in self._nodes[other].neighbors[0]:
+                if other in self._in[row][0]:
                     sym += 1
         return sym / total if total else 1.0
+
+    def validate_invariants(self) -> None:
+        """Raise ``AssertionError`` if internal bookkeeping is inconsistent.
+
+        Checks the id↔row bijection, the forward/reverse edge mirror, edge
+        endpoints' liveness and layer bounds, and the entry point's level.
+        Intended for tests; O(edges).
+        """
+        live_rows = set(self._row_of.values())
+        assert len(live_rows) == len(self._row_of), "row map is not injective"
+        for iid, row in self._row_of.items():
+            assert 0 <= row < len(self._id_of), f"row {row} out of range"
+            assert self._id_of[row] == iid, f"id_of mismatch at row {row}"
+        for row in self._free:
+            assert self._id_of[row] == _FREE, "free row still has an id"
+            assert row not in live_rows, "free row is also live"
+        for row in live_rows:
+            assert len(self._out[row]) == self._levels[row] + 1
+            assert len(self._in[row]) == self._levels[row] + 1
+            for layer, adj in enumerate(self._out[row]):
+                assert len(set(adj)) == len(adj), "duplicate out-edge"
+                for t in adj:
+                    assert t in live_rows, "edge to dead row"
+                    assert layer <= self._levels[t], "edge above target level"
+                    assert row in self._in[t][layer], "missing reverse edge"
+            for layer, rev in enumerate(self._in[row]):
+                for s in rev:
+                    assert s in live_rows, "reverse edge from dead row"
+                    assert row in self._out[s][layer], "stale reverse edge"
+        if self._entry is not None:
+            assert self._entry in self._row_of, "entry id not indexed"
+            entry_row = self._row_of[self._entry]
+            assert self._levels[entry_row] == self._max_level, (
+                "entry level != max_level"
+            )

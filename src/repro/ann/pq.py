@@ -21,46 +21,71 @@ __all__ = ["ProductQuantizer"]
 
 
 def _kmeans(
-    data: np.ndarray, k: int, rng: np.random.Generator, iters: int = 20
+    data: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    iters: int = 20,
+    init: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Plain Lloyd's k-means returning centroids of shape ``(k, d)``.
 
-    k-means++ seeding; empty clusters are re-seeded from the farthest points.
+    k-means++ seeding (or explicit ``init`` centroids, used by tests to
+    exercise degenerate starts); empty clusters are re-seeded from the
+    farthest points, with distances recomputed against the *updated*
+    centroids and each chosen seed marked used so two empty clusters can
+    never re-seed from the same point.
     """
     n = data.shape[0]
     if n == 0:
         raise ValueError("cannot run k-means on empty data")
     k = min(k, n)
-    # k-means++ initialization.
-    centroids = np.empty((k, data.shape[1]))
-    first = int(rng.integers(n))
-    centroids[0] = data[first]
-    closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
-    for j in range(1, k):
-        total = closest_sq.sum()
-        if total <= 0:
-            centroids[j:] = data[rng.integers(n, size=k - j)]
-            break
-        probs = closest_sq / total
-        idx = int(rng.choice(n, p=probs))
-        centroids[j] = data[idx]
-        d = np.sum((data - centroids[j]) ** 2, axis=1)
-        np.minimum(closest_sq, d, out=closest_sq)
+    if init is not None:
+        centroids = np.array(init, dtype=np.float64)
+        if centroids.shape != (k, data.shape[1]):
+            raise ValueError("init centroids shape mismatch")
+    else:
+        # k-means++ initialization.
+        centroids = np.empty((k, data.shape[1]))
+        first = int(rng.integers(n))
+        centroids[0] = data[first]
+        closest_sq = np.sum((data - centroids[0]) ** 2, axis=1)
+        for j in range(1, k):
+            total = closest_sq.sum()
+            if total <= 0:
+                centroids[j:] = data[rng.integers(n, size=k - j)]
+                break
+            probs = closest_sq / total
+            idx = int(rng.choice(n, p=probs))
+            centroids[j] = data[idx]
+            d = np.sum((data - centroids[j]) ** 2, axis=1)
+            np.minimum(closest_sq, d, out=closest_sq)
 
     for _ in range(iters):
         d2 = l2_distance_matrix(data, centroids)
         assign = np.argmin(d2, axis=1)
         moved = False
+        empty = []
         for j in range(k):
             members = data[assign == j]
             if len(members) == 0:
-                # Re-seed from the globally farthest point.
-                far = int(np.argmax(np.min(d2, axis=1)))
-                new_c = data[far]
-            else:
-                new_c = members.mean(axis=0)
+                empty.append(j)
+                continue
+            new_c = members.mean(axis=0)
             if not np.allclose(new_c, centroids[j]):
                 centroids[j] = new_c
+                moved = True
+        if empty:
+            # Re-seed each empty cluster from the point farthest from the
+            # *updated* centroids. min_d2 is refreshed after every seed (and
+            # the seed itself knocked out) so repeated empties spread out
+            # instead of all landing on the same stale-farthest point.
+            min_d2 = np.min(l2_distance_matrix(data, centroids), axis=1) ** 2
+            for j in empty:
+                far = int(np.argmax(min_d2))
+                centroids[j] = data[far]
+                d_new = np.sum((data - centroids[j]) ** 2, axis=1)
+                np.minimum(min_d2, d_new, out=min_d2)
+                min_d2[far] = -np.inf
                 moved = True
         if not moved:
             break
@@ -149,27 +174,44 @@ class ProductQuantizer:
             out[:, j * self.dsub : (j + 1) * self.dsub] = books[j][codes[:, j]]
         return out
 
-    def adc_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
-        """Asymmetric distances (query vs encoded DB) via lookup tables.
+    def adc_table(self, query: np.ndarray) -> np.ndarray:
+        """Per-query ``(m, ksub)`` table of squared subspace distances.
 
-        Builds an ``(m, ksub)`` table of squared subspace distances once,
-        then sums table entries per code — the standard ADC trick that makes
-        PQ search O(n·m) instead of O(n·dim).
+        Split out from :meth:`adc_distances` so a caller scoring many
+        candidate batches against one query (e.g. an HNSW traversal in PQ
+        mode) builds the table once and reuses it via :meth:`adc_lookup`.
         """
         books = self._require_trained()
         query = np.asarray(query, dtype=np.float64).ravel()
         if query.shape[0] != self.dim:
             raise ValueError(f"expected dim {self.dim}, got {query.shape[0]}")
-        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
         table = np.empty((self.m, self.ksub))
         for j in range(self.m):
             qsub = query[j * self.dsub : (j + 1) * self.dsub]
             diff = books[j] - qsub
             table[j] = np.einsum("ij,ij->i", diff, diff)
-        # Gather-and-sum across subspaces.
+        return table
+
+    def adc_lookup(
+        self, table: np.ndarray, codes: np.ndarray, squared: bool = False
+    ) -> np.ndarray:
+        """Asymmetric distances from a precomputed :meth:`adc_table`.
+
+        Sums table entries per code — the standard ADC trick that makes PQ
+        search O(n·m) instead of O(n·dim). ``squared=True`` skips the final
+        square root for callers that only compare distances (e.g. graph
+        traversal, where squared L2 preserves the ordering).
+        """
+        codes = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
         sq = table[np.arange(self.m)[None, :], codes].sum(axis=1)
+        if squared:
+            return sq
         np.maximum(sq, 0.0, out=sq)
         return np.sqrt(sq)
+
+    def adc_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Asymmetric distances (query vs encoded DB) via lookup tables."""
+        return self.adc_lookup(self.adc_table(query), codes)
 
     def quantization_error(self, data: np.ndarray) -> float:
         """Mean L2 reconstruction error over ``data``."""

@@ -1,0 +1,26 @@
+"""Committed performance trajectory (``BENCH_<date>.json``).
+
+ROADMAP item 2's measurability half: every PR can prove it didn't regress
+the hot path because ops/sec for the critical operations — cache get/put,
+HNSW build/query (with an exact-backend recall floor), end-to-end epoch
+time — are measured by one harness, written to a dated JSON file at the
+repo root, and soft-gated in CI against the last committed baseline.
+"""
+
+from repro.bench.trajectory import (
+    BenchConfig,
+    compare_reports,
+    format_report,
+    latest_baseline,
+    run_trajectory,
+    validate_report,
+)
+
+__all__ = [
+    "BenchConfig",
+    "run_trajectory",
+    "validate_report",
+    "latest_baseline",
+    "compare_reports",
+    "format_report",
+]

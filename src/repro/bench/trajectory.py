@@ -1,0 +1,509 @@
+"""Perf-trajectory harness: measure the hot paths, emit ``BENCH_<date>.json``.
+
+Three measurement groups, chosen to cover every layer the training loop
+leans on (ROADMAP item 2):
+
+* **cache** — raw LRU get/put ops/sec and two-layer ``SemanticCache.fetch``
+  ops/sec under a zipf-ish reuse pattern.
+* **hnsw** — build throughput and query throughput (per-query and batched)
+  on a clustered vector set, with layer-0 recall@10 against the exact
+  brute-force backend as the correctness floor. Queries are perturbed
+  copies of indexed samples — the workload the graph scorer actually
+  issues (drifted sample embeddings probing their own neighborhood). The
+  same queries also run through :class:`_SeedPathHNSW`, a faithful replica
+  of the pre-vectorization implementation (dict-of-objects node storage,
+  per-hop ``np.stack`` + generic distance kernel) grafted onto the
+  identical graph, so the speedup is measured, not asserted.
+* **epoch** — wall-clock seconds per epoch of a small end-to-end
+  SpiderCache training run (the simulated time is recorded alongside).
+
+``run_trajectory`` writes the report as ``BENCH_<date>.json``;
+``compare_reports`` implements the CI soft gate: warn when any metric
+regresses more than ``threshold`` (default 20%) against the last committed
+baseline with a matching config.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import platform
+import time
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ann.brute import BruteForceIndex
+from repro.ann.distance import l2_distances
+from repro.ann.hnsw import HNSWIndex
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchConfig",
+    "run_trajectory",
+    "validate_report",
+    "latest_baseline",
+    "compare_reports",
+    "format_report",
+]
+
+SCHEMA_VERSION = 1
+BENCH_GLOB = "BENCH_*.json"
+
+REQUIRED_METRICS = (
+    "cache_get_put_ops_per_s",
+    "semantic_cache_fetch_ops_per_s",
+    "hnsw_build_vecs_per_s",
+    "hnsw_query_qps",
+    "hnsw_batch_query_qps",
+    "hnsw_seed_query_qps",
+    "hnsw_query_speedup_vs_seed",
+    "hnsw_recall_at_10",
+    "epoch_time_s",
+    "epoch_time_simulated_s",
+)
+# Metrics where a larger value is a regression (all others: smaller is).
+LOWER_IS_BETTER = frozenset({"epoch_time_s", "epoch_time_simulated_s"})
+# Quality/ratio metrics excluded from the ops/sec regression gate but
+# still floor-checked (a recall collapse is a correctness bug, not noise).
+QUALITY_METRICS = frozenset({"hnsw_recall_at_10", "hnsw_query_speedup_vs_seed"})
+# Config fields that must match for two reports to be comparable.
+SCALE_FIELDS = (
+    "hnsw_n", "dim", "n_queries", "k", "cache_ops", "cache_capacity",
+    "key_space", "epoch_samples", "epochs", "batch_size",
+)
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Workload sizes for one trajectory run.
+
+    The defaults are the committed-baseline scale (1e4-vector HNSW micro-
+    benchmark); ``quick()`` shrinks everything for CI smoke and tests.
+    """
+
+    hnsw_n: int = 10_000
+    dim: int = 32
+    n_queries: int = 200
+    k: int = 10
+    M: int = 16
+    ef_construction: int = 100
+    ef_search: int = 64
+    cache_ops: int = 30_000
+    cache_capacity: int = 1_000
+    key_space: int = 4_000
+    epoch_samples: int = 600
+    epochs: int = 2
+    batch_size: int = 64
+    seed: int = 0
+
+    @classmethod
+    def quick(cls, **overrides) -> "BenchConfig":
+        """Reduced-scale config for CI smoke runs and schema tests."""
+        base = cls(
+            hnsw_n=1_500, n_queries=50, cache_ops=8_000, cache_capacity=400,
+            key_space=1_500, epoch_samples=300, epochs=1,
+        )
+        return replace(base, **overrides)
+
+
+def _clustered_vectors(n: int, dim: int, rng: np.random.Generator) -> np.ndarray:
+    """Cluster-structured vectors (the regime HNSW actually serves)."""
+    n_centers = max(8, n // 250)
+    centers = rng.normal(0.0, 4.0, (n_centers, dim))
+    return centers[rng.integers(n_centers, size=n)] + rng.normal(0.0, 1.0, (n, dim))
+
+
+class _SeedNode:
+    """Dict-of-objects node storage, as in the seed implementation."""
+
+    __slots__ = ("vector", "neighbors")
+
+    def __init__(self, vector: np.ndarray, neighbors: List[List[int]]) -> None:
+        self.vector = vector
+        self.neighbors = neighbors
+
+
+class _SeedPathHNSW:
+    """Faithful replica of the seed's query path on an already-built graph.
+
+    The pre-vectorization implementation kept one Python object per node
+    (vector + per-layer neighbor-id lists) and re-stacked each hop's
+    neighbor vectors into a fresh matrix before scoring (``np.stack`` +
+    the generic ``l2_distances`` kernel, norms recomputed every hop).
+    :meth:`graft` copies a built index's graph into that storage layout and
+    runs the seed's own greedy-descend / beam-search code verbatim, so the
+    committed speedup is a measured ratio of the two implementations over
+    the identical graph — not a guess. Never used for construction.
+    """
+
+    def __init__(
+        self,
+        nodes: Dict[int, _SeedNode],
+        entry: Optional[int],
+        max_level: int,
+        ef_search: int,
+    ) -> None:
+        self._nodes = nodes
+        self._entry = entry
+        self._max_level = max_level
+        self.ef_search = ef_search
+
+    @classmethod
+    def graft(cls, index: HNSWIndex) -> "_SeedPathHNSW":
+        """Copy ``index``'s graph into seed-style per-node storage."""
+        nodes: Dict[int, _SeedNode] = {}
+        for item_id, row in index._row_of.items():
+            level = index._levels[row]
+            neighbors = [
+                [index._id_of[r] for r in index._out[row][layer]]
+                for layer in range(level + 1)
+            ]
+            nodes[item_id] = _SeedNode(index._vectors[row].copy(), neighbors)
+        return cls(nodes, index._entry, index.max_level, index.ef_search)
+
+    def _dist(self, query: np.ndarray, item_id: int) -> float:
+        v = self._nodes[item_id].vector
+        d = query - v
+        return float(math.sqrt(d @ d))
+
+    def _dists(self, query: np.ndarray, item_ids: List[int]) -> np.ndarray:
+        mat = np.stack([self._nodes[i].vector for i in item_ids])
+        return l2_distances(query, mat)
+
+    def _greedy_descend(
+        self, query: np.ndarray, start: int, top: int, stop: int
+    ) -> int:
+        current = start
+        cur_dist = self._dist(query, current)
+        for layer in range(top, stop, -1):
+            improved = True
+            while improved:
+                improved = False
+                neigh = self._nodes[current].neighbors[layer]
+                if not neigh:
+                    continue
+                dists = self._dists(query, neigh)
+                best = int(np.argmin(dists))
+                if dists[best] < cur_dist:
+                    cur_dist = float(dists[best])
+                    current = neigh[best]
+                    improved = True
+        return current
+
+    def _search_layer(
+        self, query: np.ndarray, entry: int, ef: int, layer: int
+    ) -> List[Tuple[float, int]]:
+        entry_dist = self._dist(query, entry)
+        visited = {entry}
+        candidates: List[Tuple[float, int]] = [(entry_dist, entry)]
+        results: List[Tuple[float, int]] = [(-entry_dist, entry)]
+        while candidates:
+            cand_dist, cand = heapq.heappop(candidates)
+            if cand_dist > -results[0][0] and len(results) >= ef:
+                break
+            neigh = [
+                n for n in self._nodes[cand].neighbors[layer] if n not in visited
+            ]
+            if not neigh:
+                continue
+            visited.update(neigh)
+            dists = self._dists(query, neigh)
+            worst = -results[0][0]
+            for nid, nd in zip(neigh, dists):
+                nd = float(nd)
+                if len(results) < ef or nd < worst:
+                    heapq.heappush(candidates, (nd, nid))
+                    heapq.heappush(results, (-nd, nid))
+                    if len(results) > ef:
+                        heapq.heappop(results)
+                    worst = -results[0][0]
+        out = [(-d, i) for d, i in results]
+        out.sort()
+        return out
+
+    def search(
+        self, query: np.ndarray, k: int, ef: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate k-NN exactly as the seed implementation ran it."""
+        if self._entry is None:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        query = np.asarray(query, dtype=np.float64).ravel()
+        ef = max(int(ef if ef is not None else self.ef_search), k)
+        entry = self._greedy_descend(query, self._entry, self._max_level, 0)
+        results = self._search_layer(query, entry, ef, 0)
+        k = min(int(k), len(results))
+        ids = [i for _, i in results[:k]]
+        dists = [d for d, _ in results[:k]]
+        return np.asarray(ids, dtype=np.int64), np.asarray(dists)
+
+
+def bench_cache(cfg: BenchConfig, rng: np.random.Generator) -> Dict[str, float]:
+    """LRU get/put and SemanticCache fetch throughput."""
+    from repro.cache.lru import LRUCache
+    from repro.core.semantic_cache import SemanticCache
+
+    # Zipf-ish skewed keys: heavy reuse with a long tail, like epoch replays.
+    keys = rng.zipf(1.3, size=cfg.cache_ops) % cfg.key_space
+
+    lru = LRUCache(cfg.cache_capacity)
+    t0 = time.perf_counter()
+    for k in keys:
+        k = int(k)
+        if lru.get(k) is None:
+            lru.put(k, k)
+    lru_elapsed = time.perf_counter() - t0
+
+    cache = SemanticCache(cfg.cache_capacity, imp_ratio=0.9)
+    scores = rng.random(cfg.cache_ops)
+    t0 = time.perf_counter()
+    for k, s in zip(keys, scores):
+        cache.fetch(int(k), float(s), lambda i: i)
+    sem_elapsed = time.perf_counter() - t0
+
+    return {
+        "cache_get_put_ops_per_s": cfg.cache_ops / max(lru_elapsed, 1e-9),
+        "semantic_cache_fetch_ops_per_s": cfg.cache_ops / max(sem_elapsed, 1e-9),
+    }
+
+
+def bench_hnsw(cfg: BenchConfig, rng: np.random.Generator) -> Dict[str, float]:
+    """HNSW build/query throughput, recall floor, and seed-path speedup."""
+    data = _clustered_vectors(cfg.hnsw_n, cfg.dim, rng)
+    # Queries are perturbed indexed samples — the graph scorer's workload
+    # (a drifted sample embedding probing its own neighborhood).
+    picks = rng.integers(cfg.hnsw_n, size=cfg.n_queries)
+    queries = data[picks] + rng.normal(0.0, 0.25, (cfg.n_queries, cfg.dim))
+
+    idx = HNSWIndex(
+        cfg.dim, M=cfg.M, ef_construction=cfg.ef_construction,
+        ef_search=cfg.ef_search, rng=cfg.seed, capacity=cfg.hnsw_n,
+    )
+    t0 = time.perf_counter()
+    idx.add_batch(np.arange(cfg.hnsw_n), data)
+    build_s = time.perf_counter() - t0
+
+    brute = BruteForceIndex(cfg.dim, capacity=cfg.hnsw_n)
+    brute.add_batch(np.arange(cfg.hnsw_n), data)
+
+    # Correctness floor before any timing: layer-0 recall@k vs exact.
+    recalls = []
+    for q in queries:
+        h_ids, _ = idx.search(q, k=cfg.k)
+        b_ids, _ = brute.search(q, k=cfg.k)
+        recalls.append(len(set(h_ids) & set(b_ids)) / cfg.k)
+    recall = float(np.mean(recalls))
+
+    def _best_of(fn, reps: int = 3) -> float:
+        """Best-of-N wall time — damps scheduler noise in the ratio."""
+        best = float("inf")
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def _run_single():
+        for q in queries:
+            idx.search(q, k=cfg.k)
+
+    query_s = _best_of(_run_single)
+    batch_s = _best_of(lambda: idx.search_batch(queries, k=cfg.k))
+
+    seed_view = _SeedPathHNSW.graft(idx)
+
+    def _run_seed():
+        for q in queries:
+            seed_view.search(q, k=cfg.k)
+
+    seed_s = _best_of(_run_seed)
+
+    return {
+        "hnsw_build_vecs_per_s": cfg.hnsw_n / max(build_s, 1e-9),
+        "hnsw_query_qps": cfg.n_queries / max(query_s, 1e-9),
+        "hnsw_batch_query_qps": cfg.n_queries / max(batch_s, 1e-9),
+        "hnsw_seed_query_qps": cfg.n_queries / max(seed_s, 1e-9),
+        # The headline ratio: the lockstep batched layer-0 path (the
+        # tentpole's vectorized query API) vs the seed implementation
+        # replayed verbatim on the identical graph and query set.
+        "hnsw_query_speedup_vs_seed": seed_s / max(batch_s, 1e-9),
+        "hnsw_recall_at_10": recall,
+    }
+
+
+def bench_epoch(cfg: BenchConfig) -> Dict[str, float]:
+    """Wall-clock (and simulated) seconds per epoch, end to end."""
+    from repro.core.policy import SpiderCachePolicy
+    from repro.data.registry import make_dataset
+    from repro.data.synthetic import train_test_split
+    from repro.nn.models import build_model
+    from repro.train.trainer import Trainer, TrainerConfig
+
+    data = make_dataset("cifar10-like", rng=cfg.seed, n_samples=cfg.epoch_samples)
+    train, test = train_test_split(data, test_fraction=0.25, rng=cfg.seed + 1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=cfg.seed + 2)
+    policy = SpiderCachePolicy(cache_fraction=0.2, rng=cfg.seed + 3)
+    trainer = Trainer(
+        model, train, test, policy,
+        TrainerConfig(epochs=cfg.epochs, batch_size=cfg.batch_size),
+    )
+    t0 = time.perf_counter()
+    result = trainer.run()
+    wall = time.perf_counter() - t0
+    return {
+        "epoch_time_s": wall / cfg.epochs,
+        "epoch_time_simulated_s": result.total_time_s / cfg.epochs,
+    }
+
+
+def run_trajectory(
+    cfg: Optional[BenchConfig] = None,
+    out_dir: Optional[Path] = None,
+    date: Optional[str] = None,
+) -> Tuple[dict, Optional[Path]]:
+    """Run all groups; write ``BENCH_<date>.json`` unless ``out_dir=None``.
+
+    Returns ``(report, path_or_None)``.
+    """
+    cfg = cfg or BenchConfig()
+    rng = np.random.default_rng(cfg.seed)
+    metrics: Dict[str, float] = {}
+    metrics.update(bench_cache(cfg, rng))
+    metrics.update(bench_hnsw(cfg, rng))
+    metrics.update(bench_epoch(cfg))
+    if date is None:
+        date = time.strftime("%Y-%m-%d")
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "date": date,
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "config": asdict(cfg),
+        "metrics": metrics,
+    }
+    path = None
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"BENCH_{date}.json"
+        path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report, path
+
+
+def validate_report(report: dict) -> List[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report.get('schema_version')!r} != {SCHEMA_VERSION}"
+        )
+    for key in ("date", "host", "config", "metrics"):
+        if key not in report:
+            problems.append(f"missing top-level key {key!r}")
+    metrics = report.get("metrics", {})
+    if not isinstance(metrics, dict):
+        problems.append("metrics is not an object")
+        metrics = {}
+    for name in REQUIRED_METRICS:
+        val = metrics.get(name)
+        if not isinstance(val, (int, float)) or not np.isfinite(val):
+            problems.append(f"metric {name!r} missing or non-finite: {val!r}")
+        elif val < 0:
+            problems.append(f"metric {name!r} negative: {val!r}")
+    config = report.get("config", {})
+    if isinstance(config, dict):
+        for field in SCALE_FIELDS:
+            if field not in config:
+                problems.append(f"config missing field {field!r}")
+    else:
+        problems.append("config is not an object")
+    return problems
+
+
+def latest_baseline(
+    root: Path, exclude: Optional[Path] = None
+) -> Optional[Path]:
+    """Newest committed ``BENCH_*.json`` under ``root`` (by filename date)."""
+    root = Path(root)
+    candidates = sorted(p for p in root.glob(BENCH_GLOB) if p.is_file())
+    if exclude is not None:
+        exclude = Path(exclude).resolve()
+        candidates = [p for p in candidates if p.resolve() != exclude]
+    return candidates[-1] if candidates else None
+
+
+def compare_reports(
+    current: dict, baseline: dict, threshold: float = 0.2
+) -> List[str]:
+    """Soft-gate comparison; returns human-readable regression warnings.
+
+    Throughput metrics warn when they fall more than ``threshold`` below
+    the baseline; time metrics warn when they rise more than ``threshold``
+    above it. Quality metrics (recall, speedup) warn on any absolute drop
+    below the baseline minus 0.05. Reports with different workload scales
+    are declared incomparable (one note, no metric warnings).
+    """
+    cur_cfg = current.get("config", {})
+    base_cfg = baseline.get("config", {})
+    mismatched = [
+        f for f in SCALE_FIELDS if cur_cfg.get(f) != base_cfg.get(f)
+    ]
+    if mismatched:
+        return [
+            "baseline workload scale differs "
+            f"({', '.join(mismatched)}); skipping metric comparison"
+        ]
+    warnings: List[str] = []
+    cur_m = current.get("metrics", {})
+    base_m = baseline.get("metrics", {})
+    for name in REQUIRED_METRICS:
+        cur = cur_m.get(name)
+        base = base_m.get(name)
+        if cur is None or base is None or base <= 0:
+            continue
+        if name in QUALITY_METRICS:
+            if cur < base - 0.05:
+                warnings.append(
+                    f"{name}: {cur:.3f} vs baseline {base:.3f} (quality drop)"
+                )
+        elif name in LOWER_IS_BETTER:
+            if cur > base * (1.0 + threshold):
+                warnings.append(
+                    f"{name}: {cur:.4g}s vs baseline {base:.4g}s "
+                    f"(+{(cur / base - 1) * 100:.0f}%, threshold "
+                    f"{threshold * 100:.0f}%)"
+                )
+        else:
+            if cur < base * (1.0 - threshold):
+                warnings.append(
+                    f"{name}: {cur:.4g} vs baseline {base:.4g} "
+                    f"(-{(1 - cur / base) * 100:.0f}%, threshold "
+                    f"{threshold * 100:.0f}%)"
+                )
+    return warnings
+
+
+def format_report(report: dict) -> str:
+    """Render one report as an aligned text table."""
+    lines = [f"perf trajectory — {report['date']} "
+             f"(schema v{report['schema_version']})"]
+    metrics = report["metrics"]
+    width = max(len(k) for k in metrics)
+    for name in sorted(metrics):
+        val = metrics[name]
+        if name in LOWER_IS_BETTER:
+            shown = f"{val:.3f} s"
+        elif name in QUALITY_METRICS:
+            shown = f"{val:.3f}"
+        else:
+            shown = f"{val:,.0f} /s"
+        lines.append(f"  {name:<{width}}  {shown}")
+    return "\n".join(lines)

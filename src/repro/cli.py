@@ -10,6 +10,7 @@ Usage::
     python -m repro trace --policy spidercache --epochs 6 --capacity 0.2
     python -m repro train --policy spidercache --trace-dir runs/demo
     python -m repro report runs/demo
+    python -m repro bench --check
 
 ``train`` runs one policy and prints per-epoch metrics (with
 ``--trace-dir`` it also records a structured event trace and exports the
@@ -140,6 +141,63 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--capacity", type=float, default=0.2,
                          help="replay-cache capacity as a dataset fraction")
     add_common(trace_p)
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="run the perf trajectory, write BENCH_<date>.json, "
+             "optionally soft-gate against the last committed baseline",
+    )
+    bench_p.add_argument(
+        "--out-dir", default=".",
+        help="where BENCH_<date>.json is written (default: repo root)",
+    )
+    bench_p.add_argument(
+        "--baseline-root", default=".",
+        help="directory searched for the committed baseline BENCH_*.json",
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true",
+        help="reduced workload sizes (CI smoke; not comparable to the "
+             "committed full-scale baseline)",
+    )
+    bench_p.add_argument(
+        "--check", action="store_true",
+        help="compare against the newest committed BENCH_*.json and warn "
+             "on regressions past the threshold (soft gate: exit 0)",
+    )
+    bench_p.add_argument(
+        "--strict", action="store_true",
+        help="with --check: exit nonzero when a regression is detected",
+    )
+    bench_p.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="relative regression tolerance for the soft gate (default 0.2)",
+    )
+    bench_p.add_argument(
+        "--no-write", action="store_true",
+        help="measure and report without writing a BENCH file",
+    )
+    bench_p.add_argument("--seed", type=int, default=0)
+    bench_p.add_argument(
+        "--hnsw-n", type=int, default=None,
+        help="override HNSW micro-benchmark vector count",
+    )
+    bench_p.add_argument(
+        "--queries", type=int, default=None,
+        help="override HNSW query count",
+    )
+    bench_p.add_argument(
+        "--cache-ops", type=int, default=None,
+        help="override cache op count",
+    )
+    bench_p.add_argument(
+        "--samples", type=int, default=None,
+        help="override end-to-end epoch sample count",
+    )
+    bench_p.add_argument(
+        "--epochs", type=int, default=None,
+        help="override end-to-end epoch count",
+    )
 
     faults_p = sub.add_parser(
         "faults", help="sweep fault scenarios (outage/brownout/preemption)"
@@ -370,6 +428,71 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from repro.bench.trajectory import (
+        BenchConfig,
+        compare_reports,
+        format_report,
+        latest_baseline,
+        run_trajectory,
+        validate_report,
+    )
+
+    overrides = {}
+    for arg_name, field in [
+        ("hnsw_n", "hnsw_n"), ("queries", "n_queries"),
+        ("cache_ops", "cache_ops"), ("samples", "epoch_samples"),
+        ("epochs", "epochs"),
+    ]:
+        val = getattr(args, arg_name)
+        if val is not None:
+            if val < 1:
+                print(f"--{arg_name.replace('_', '-')} must be >= 1",
+                      file=sys.stderr)
+                return 2
+            overrides[field] = val
+    overrides["seed"] = args.seed
+    cfg = BenchConfig.quick(**overrides) if args.quick else BenchConfig(**overrides)
+
+    # Resolve the baseline *before* writing, so a fresh BENCH file in the
+    # same directory can't become its own baseline.
+    baseline_path = latest_baseline(Path(args.baseline_root))
+
+    out_dir = None if args.no_write else args.out_dir
+    report, path = run_trajectory(cfg, out_dir=out_dir)
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - harness bug guard
+        for p in problems:
+            print(f"schema problem: {p}", file=sys.stderr)
+        return 1
+    print(format_report(report))
+    if path is not None:
+        print(f"\nwrote {path}")
+
+    if args.check:
+        if baseline_path is None:
+            print("soft gate: no committed BENCH_*.json baseline found; "
+                  "nothing to compare against")
+            return 0
+        import json as _json
+
+        baseline = _json.loads(baseline_path.read_text())
+        warnings = compare_reports(report, baseline,
+                                   threshold=args.threshold)
+        if not warnings:
+            print(f"soft gate: OK vs {baseline_path.name} "
+                  f"(threshold {args.threshold:.0%})")
+        else:
+            for w in warnings:
+                print(f"soft gate WARNING vs {baseline_path.name}: {w}",
+                      file=sys.stderr)
+            if args.strict:
+                return 1
+    return 0
+
+
 def _cmd_faults(args) -> int:
     import tempfile
     from pathlib import Path
@@ -428,6 +551,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _cmd_trace,
         "faults": _cmd_faults,
         "report": _cmd_report,
+        "bench": _cmd_bench,
     }[args.command](args)
 
 

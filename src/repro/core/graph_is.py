@@ -138,7 +138,11 @@ class GraphImportanceScorer:
         if backend == "exact":
             self.index: IndexBackend = BruteForceIndex(dim, capacity=len(self.labels))
         elif backend == "hnsw":
-            self.index = HNSWIndex(dim, **(hnsw_kwargs or {}))
+            kw = dict(hnsw_kwargs or {})
+            # Pre-size the flat vector matrix to the dataset so the index
+            # never pays doubling-regrowth copies mid-training.
+            kw.setdefault("capacity", max(len(self.labels), 64))
+            self.index = HNSWIndex(dim, **kw)
         else:
             raise ValueError(f"unknown backend {backend!r}")
         self.backend = backend
@@ -209,19 +213,15 @@ class GraphImportanceScorer:
     def _neighbor_lists(
         self, indices: np.ndarray, embeddings: np.ndarray
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Range-query each batch sample, excluding the sample itself."""
-        if isinstance(self.index, BruteForceIndex):
-            return self.index.neighbors_within_batch(
-                embeddings, self.radius, exclude=indices, max_neighbors=self.neighbormax
-            )
-        out = []
-        for i, e in zip(indices, embeddings):
-            out.append(
-                self.index.neighbors_within(
-                    e, self.radius, exclude=int(i), max_neighbors=self.neighbormax
-                )
-            )
-        return out
+        """Range-query each batch sample, excluding the sample itself.
+
+        Both backends expose the same batched range-query API; the HNSW
+        backend shares its vectorized row-distance kernel across every hop
+        of every query in the batch.
+        """
+        return self.index.neighbors_within_batch(
+            embeddings, self.radius, exclude=indices, max_neighbors=self.neighbormax
+        )
 
     def score_batch(
         self, indices: Sequence[int], embeddings: np.ndarray
@@ -242,24 +242,27 @@ class GraphImportanceScorer:
         self.update_embeddings(indices, embeddings)
         neigh = self._neighbor_lists(indices, embeddings)
 
-        results: List[NodeScore] = []
-        for i, (nid, nd) in zip(indices, neigh):
+        # Neighbor counts per sample (ragged lists force the small loop),
+        # then one vectorized Eq.-4 call over the whole batch.
+        n = indices.shape[0]
+        x_same = np.zeros(n, dtype=np.int64)
+        x_other = np.zeros(n, dtype=np.int64)
+        for j, (nid, _) in enumerate(neigh):
             if nid.size:
-                same = int(np.sum(self.labels[nid] == self.labels[i]))
-                other = int(nid.size - same)
-            else:
-                same = other = 0
-            score = float(
-                importance_score(
-                    np.asarray([same]),
-                    np.asarray([other]),
-                    self.neighbormax,
-                    self.zero_same_part1,
-                )[0]
-            )
+                same = int(np.sum(self.labels[nid] == self.labels[indices[j]]))
+                x_same[j] = same
+                x_other[j] = nid.size - same
+        scores = importance_score(
+            x_same, x_other, self.neighbormax, self.zero_same_part1
+        )
+
+        results: List[NodeScore] = []
+        for j in range(n):
+            nid, nd = neigh[j]
             results.append(
                 NodeScore(
-                    index=int(i), score=score, x_same=same, x_other=other,
+                    index=int(indices[j]), score=float(scores[j]),
+                    x_same=int(x_same[j]), x_other=int(x_other[j]),
                     neighbor_ids=nid.astype(np.int64),
                     neighbor_dists=np.asarray(nd, dtype=np.float64),
                 )

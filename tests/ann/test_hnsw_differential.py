@@ -1,0 +1,220 @@
+"""Differential HNSW tests: vs brute force, across reorder, batch vs single.
+
+These pin the tentpole's behavioral contracts:
+
+* ``search(..., exclude=)`` returns exactly ``k`` results whenever ``k+1``
+  elements are indexed (the widened-beam regression fix).
+* Recall vs the exact backend stays high through dynamic update/remove
+  churn (the re-link path keeps the graph navigable).
+* :meth:`HNSWIndex.reorder` (both strategies) changes storage rows only:
+  search results are bit-identical before and after.
+* ``search_batch`` / ``neighbors_within_batch`` (the lockstep path) return
+  the same ids as per-query ``search`` calls, with distances equal up to
+  the fused kernel's floating-point summation order.
+* ``validate_invariants`` holds after arbitrary mutation sequences.
+* PQ-mode search stays close to exact-mode on easy data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.brute import BruteForceIndex
+from repro.ann.hnsw import HNSWIndex
+from repro.ann.pq import ProductQuantizer
+
+DIM = 16
+
+
+def _clustered(n, rng, dim=DIM, centers=6):
+    c = rng.normal(0.0, 4.0, (centers, dim))
+    return c[rng.integers(centers, size=n)] + rng.normal(0.0, 1.0, (n, dim))
+
+
+@pytest.fixture
+def built():
+    rng = np.random.default_rng(7)
+    data = _clustered(400, rng)
+    idx = HNSWIndex(DIM, M=8, ef_construction=64, ef_search=32, rng=0,
+                    capacity=400)
+    idx.add_batch(np.arange(400), data)
+    brute = BruteForceIndex(DIM, capacity=400)
+    brute.add_batch(np.arange(400), data)
+    return idx, brute, data, rng
+
+
+def test_exclude_returns_exactly_k(built):
+    """With k+1 elements indexed, exclusion must not under-fill the k
+    results — even at the tightest beam (ef == k)."""
+    idx, _, data, _ = built
+    for qi in (0, 17, 203):
+        for k in (1, 5, 10):
+            ids, dists = idx.search(data[qi], k=k, ef=k, exclude=qi)
+            assert len(ids) == k
+            assert qi not in ids
+            assert np.all(np.diff(dists) >= 0)
+
+
+def test_exclude_minimal_index():
+    """k+1 indexed, exclude one: exactly k must come back."""
+    idx = HNSWIndex(DIM, M=4, ef_construction=16, rng=0)
+    rng = np.random.default_rng(1)
+    vecs = rng.normal(size=(4, DIM))
+    idx.add_batch(np.arange(4), vecs)
+    ids, _ = idx.search(vecs[0], k=3, ef=3, exclude=0)
+    assert len(ids) == 3
+    assert 0 not in ids
+
+
+def test_recall_after_update_remove_churn(built):
+    """Dynamic churn (drift updates + removals) keeps recall high."""
+    idx, brute, data, rng = built
+    # Drift a third of the vectors, remove some, add replacements.
+    for i in rng.choice(400, size=130, replace=False):
+        moved = data[i] + rng.normal(0.0, 0.5, DIM)
+        idx.update(int(i), moved)
+        brute.add(int(i), moved)
+        data[i] = moved
+    removed = rng.choice(400, size=40, replace=False)
+    for i in removed:
+        idx.remove(int(i))
+        brute.remove(int(i))
+    idx.validate_invariants()
+    queries = _clustered(50, rng)
+    hits = total = 0
+    for q in queries:
+        h_ids, _ = idx.search(q, k=10, ef=80)
+        b_ids, _ = brute.search(q, k=10)
+        hits += len(set(h_ids) & set(b_ids))
+        total += 10
+    assert hits / total >= 0.9
+
+
+@pytest.mark.parametrize("strategy", ["bfs", "degree"])
+def test_reorder_preserves_results_bitwise(built, strategy):
+    """Row relabeling must not change any search output: all traversal
+    ordering keys on (distance, external id), never on the row."""
+    idx, _, data, rng = built
+    # Mutation history first so the free list is non-trivial.
+    for i in range(20):
+        idx.remove(i)
+    queries = _clustered(30, rng)
+    before = [idx.search(q, k=8, ef=40) for q in queries]
+    order = idx.reorder(strategy=strategy)
+    idx.validate_invariants()
+    assert len(order) == len(idx)
+    after = [idx.search(q, k=8, ef=40) for q in queries]
+    for (ib, db), (ia, da) in zip(before, after):
+        np.testing.assert_array_equal(ib, ia)
+        np.testing.assert_array_equal(db, da)
+
+
+def test_reorder_then_mutate_stays_consistent(built):
+    idx, _, data, rng = built
+    idx.reorder(strategy="bfs")
+    for i in range(10):
+        idx.update(i, data[i] + 0.1)
+    idx.remove(11)
+    idx.validate_invariants()
+    ids, _ = idx.search(data[0], k=5)
+    assert len(ids) == 5
+
+
+def test_search_batch_matches_single(built):
+    """The lockstep batched beam returns per-query search's results (ids
+    exactly; distances up to kernel summation order)."""
+    idx, _, data, rng = built
+    queries = _clustered(40, rng)
+    bi, bd = idx.search_batch(queries, k=7)
+    assert bi.shape == (40, 7) and bd.shape == (40, 7)
+    for qi in range(40):
+        si, sd = idx.search(queries[qi], k=7)
+        np.testing.assert_array_equal(bi[qi, : len(si)], si)
+        np.testing.assert_allclose(bd[qi, : len(sd)], sd, rtol=1e-12, atol=1e-6)
+
+
+def test_search_batch_exclude_matches_single(built):
+    """Per-query exclusion (mixed with -1 = none) keeps bit-parity: the
+    beam widening applies only to rows that actually exclude."""
+    idx, _, data, rng = built
+    queries = data[:30]
+    exclude = np.where(np.arange(30) % 2 == 0, np.arange(30), -1)
+    bi, bd = idx.search_batch(queries, k=6, exclude=exclude)
+    for qi in range(30):
+        excl = int(exclude[qi]) if exclude[qi] >= 0 else None
+        si, sd = idx.search(queries[qi], k=6, exclude=excl)
+        np.testing.assert_array_equal(bi[qi, : len(si)], si)
+        np.testing.assert_allclose(bd[qi, : len(sd)], sd, rtol=1e-12, atol=1e-6)
+        if excl is not None:
+            assert excl not in bi[qi]
+
+
+def test_search_batch_padding_contract():
+    """Fewer elements than k: rows pad with -1 ids and inf distances,
+    matching the brute-force backend's contract."""
+    idx = HNSWIndex(DIM, M=4, ef_construction=16, rng=0)
+    rng = np.random.default_rng(3)
+    vecs = rng.normal(size=(3, DIM))
+    idx.add_batch(np.arange(3), vecs)
+    ids, dists = idx.search_batch(vecs, k=5)
+    assert ids.shape == (3, 5)
+    assert np.all(ids[:, 3:] == -1)
+    assert np.all(np.isinf(dists[:, 3:]))
+
+
+def test_neighbors_within_batch_matches_single(built):
+    idx, _, data, rng = built
+    queries = data[:25]
+    exclude = np.arange(25)
+    radius = 3.0
+    batched = idx.neighbors_within_batch(
+        queries, radius, exclude=exclude, max_neighbors=64
+    )
+    for qi, (ids, dists) in enumerate(batched):
+        s_ids, s_dists = idx.neighbors_within(
+            queries[qi], radius, exclude=int(exclude[qi]), max_neighbors=64
+        )
+        np.testing.assert_array_equal(ids, s_ids)
+        np.testing.assert_allclose(dists, s_dists, rtol=1e-12, atol=1e-6)
+        assert exclude[qi] not in ids
+        assert np.all(dists <= radius)
+
+
+def test_invariants_after_mutation_storm():
+    rng = np.random.default_rng(11)
+    idx = HNSWIndex(DIM, M=4, ef_construction=24, rng=2, capacity=8)
+    live = set()
+    for step in range(300):
+        op = rng.integers(3)
+        key = int(rng.integers(60))
+        if op == 2 and key in live:
+            idx.remove(key)
+            live.discard(key)
+        else:
+            idx.add(key, rng.normal(size=DIM))
+            live.add(key)
+    idx.validate_invariants()
+    assert set(idx.ids) == live
+    if live:
+        k = min(5, len(live))
+        ids, _ = idx.search(rng.normal(size=DIM), k=k, ef=32)
+        assert len(ids) == k
+
+
+def test_pq_mode_close_to_exact(built):
+    idx, _, data, rng = built
+    pq = ProductQuantizer(dim=DIM, m=4, nbits=8)
+    pq.train(data, rng=5)
+    idx.attach_pq(pq)
+    assert idx.pq_enabled
+    queries = _clustered(20, rng)
+    overlaps = []
+    for q in queries:
+        e_ids, _ = idx.search(q, k=10, ef=60, mode="exact")
+        p_ids, p_d = idx.search(q, k=10, ef=60, mode="pq")
+        assert len(p_ids) == 10
+        # Re-ranked distances are exact, hence sorted and non-negative.
+        assert np.all(np.diff(p_d) >= 0) and np.all(p_d >= 0)
+        overlaps.append(len(set(e_ids) & set(p_ids)) / 10)
+    assert float(np.mean(overlaps)) >= 0.5
+    idx.detach_pq()
+    assert not idx.pq_enabled

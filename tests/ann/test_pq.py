@@ -111,3 +111,33 @@ def test_identical_data_zero_error():
     pq = ProductQuantizer(dim=8, m=4, nbits=2)
     pq.train(data, rng=0)
     assert pq.quantization_error(data) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_kmeans_reseeds_empty_clusters_distinctly():
+    """Two clusters seeded on the same far-away point both go empty on the
+    first assignment; the re-seed path must give them *distinct* centroids
+    (distances recomputed per seed, chosen points knocked out) instead of
+    landing both on the same stale-farthest sample."""
+    from repro.ann.pq import _kmeans
+
+    rng = np.random.default_rng(0)
+    data = rng.normal(0.0, 0.1, size=(40, 2))  # tight blob near the origin
+    far = np.array([[100.0, 100.0], [100.0, 100.0], [0.0, 0.0]])
+    centroids = _kmeans(data, k=3, rng=rng, iters=5, init=far)
+    assert centroids.shape == (3, 2)
+    # All three centroids pairwise distinct ...
+    for a in range(3):
+        for b in range(a + 1, 3):
+            assert not np.allclose(centroids[a], centroids[b])
+    # ... and all pulled into the data's bounding box (no orphaned seeds).
+    lo, hi = data.min(axis=0), data.max(axis=0)
+    assert np.all(centroids >= lo - 1e-9) and np.all(centroids <= hi + 1e-9)
+
+
+def test_kmeans_init_shape_mismatch():
+    from repro.ann.pq import _kmeans
+
+    data = np.random.default_rng(1).normal(size=(10, 4))
+    with pytest.raises(ValueError):
+        _kmeans(data, k=3, rng=np.random.default_rng(0),
+                init=np.zeros((2, 4)))

@@ -215,3 +215,29 @@ def test_neighbormax_caps_range_results():
     results = s.score_batch(np.arange(50), emb)
     for ns in results:
         assert len(ns.neighbor_ids) <= 10
+
+
+@pytest.mark.parametrize("backend", ["exact", "hnsw"])
+def test_score_batch_matches_per_query_range_search(backend):
+    """The batched neighbor-list path (``neighbors_within_batch``) must
+    return, per sample, exactly what a single ``neighbors_within`` call
+    against the same post-update index state returns — so vectorizing
+    ``score_batch`` changes throughput, never scores."""
+    rng = np.random.default_rng(4)
+    labels = rng.integers(3, size=24)
+    emb = rng.normal(0.0, 1.0, (24, 4))
+    kwargs = {"hnsw_kwargs": {"rng": 0, "ef_search": 64}} if backend == "hnsw" else {}
+    s = GraphImportanceScorer(
+        4, labels, lam=0.8, alpha=0.2, auto_calibrate=False,
+        backend=backend, **kwargs,
+    )
+    results = s.score_batch(np.arange(24), emb)
+    for ns in results:
+        ids, dists = s.index.neighbors_within(
+            emb[ns.index], s.radius, exclude=ns.index,
+            max_neighbors=s.neighbormax,
+        )
+        np.testing.assert_array_equal(np.sort(ns.neighbor_ids), np.sort(ids))
+        same = int(np.sum(labels[ids] == labels[ns.index])) if ids.size else 0
+        assert ns.x_same == same
+        assert ns.x_other == ids.size - same

@@ -1,0 +1,149 @@
+"""Schema and soft-gate tests for the perf-trajectory harness.
+
+A tiny (quick-config) trajectory run must produce a report that passes
+``validate_report`` and lands as ``BENCH_<date>.json``; the committed
+repo-root baseline must stay schema-valid; and ``compare_reports`` must
+warn on throughput regressions and quality drops, stay quiet within the
+threshold, and refuse to compare mismatched workload scales.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    BenchConfig,
+    compare_reports,
+    format_report,
+    latest_baseline,
+    run_trajectory,
+    validate_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TINY = BenchConfig.quick(
+    hnsw_n=400,
+    n_queries=20,
+    cache_ops=2_000,
+    cache_capacity=100,
+    key_space=400,
+    epoch_samples=120,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_run(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench")
+    report, path = run_trajectory(TINY, out_dir=out, date="2026-01-02")
+    return report, path
+
+
+def test_tiny_run_schema_and_filename(tiny_run):
+    report, path = tiny_run
+    assert validate_report(report) == []
+    assert path is not None and path.name == "BENCH_2026-01-02.json"
+    on_disk = json.loads(path.read_text())
+    assert on_disk == report
+    assert report["config"]["hnsw_n"] == 400
+
+
+def test_tiny_run_metric_sanity(tiny_run):
+    report, _ = tiny_run
+    m = report["metrics"]
+    assert 0.0 <= m["hnsw_recall_at_10"] <= 1.0
+    assert m["hnsw_query_qps"] > 0
+    assert m["hnsw_batch_query_qps"] > 0
+    assert m["cache_get_put_ops_per_s"] > 0
+    assert m["epoch_time_s"] > 0
+
+
+def test_no_write_mode():
+    report, path = run_trajectory(TINY, out_dir=None)
+    assert path is None
+    assert validate_report(report) == []
+
+
+def test_committed_baseline_is_valid():
+    """The repo-root BENCH_*.json the CI soft gate compares against."""
+    baseline = latest_baseline(REPO_ROOT)
+    assert baseline is not None, "no committed BENCH_*.json at repo root"
+    report = json.loads(baseline.read_text())
+    assert validate_report(report) == []
+    # The committed baseline runs at full scale with the acceptance floors.
+    assert report["metrics"]["hnsw_recall_at_10"] >= 0.95
+    assert report["metrics"]["hnsw_query_speedup_vs_seed"] >= 3.0
+
+
+def test_validate_rejects_broken_reports(tiny_run):
+    report, _ = tiny_run
+    bad = json.loads(json.dumps(report))
+    del bad["metrics"]["hnsw_query_qps"]
+    bad["schema_version"] = 99
+    problems = validate_report(bad)
+    assert any("hnsw_query_qps" in p for p in problems)
+    assert any("schema_version" in p for p in problems)
+    assert validate_report({"schema_version": 1}) != []
+
+
+def test_compare_warns_on_throughput_regression(tiny_run):
+    report, _ = tiny_run
+    slower = json.loads(json.dumps(report))
+    slower["metrics"]["hnsw_query_qps"] *= 0.5
+    slower["metrics"]["epoch_time_s"] *= 2.0
+    warnings = compare_reports(slower, report)
+    assert any("hnsw_query_qps" in w for w in warnings)
+    assert any("epoch_time_s" in w for w in warnings)
+
+
+def test_compare_quiet_within_threshold(tiny_run):
+    report, _ = tiny_run
+    near = json.loads(json.dumps(report))
+    for name in near["metrics"]:
+        near["metrics"][name] *= 0.95  # inside the 20% throughput band
+    near["metrics"]["hnsw_recall_at_10"] = report["metrics"][
+        "hnsw_recall_at_10"
+    ]  # quality gate is absolute, keep it level
+    near["metrics"]["hnsw_query_speedup_vs_seed"] = report["metrics"][
+        "hnsw_query_speedup_vs_seed"
+    ]
+    assert compare_reports(near, report) == []
+
+
+def test_compare_warns_on_quality_drop(tiny_run):
+    report, _ = tiny_run
+    worse = json.loads(json.dumps(report))
+    worse["metrics"]["hnsw_recall_at_10"] = max(
+        0.0, report["metrics"]["hnsw_recall_at_10"] - 0.2
+    )
+    warnings = compare_reports(worse, report)
+    assert any("hnsw_recall_at_10" in w for w in warnings)
+
+
+def test_compare_scale_mismatch_is_single_note(tiny_run):
+    report, _ = tiny_run
+    other = json.loads(json.dumps(report))
+    other["config"]["hnsw_n"] = 999_999
+    other["metrics"]["hnsw_query_qps"] = 0.001  # would warn if compared
+    notes = compare_reports(report, other)
+    assert len(notes) == 1
+    assert "scale differs" in notes[0]
+
+
+def test_latest_baseline_orders_and_excludes(tmp_path):
+    old = tmp_path / "BENCH_2025-01-01.json"
+    new = tmp_path / "BENCH_2026-01-01.json"
+    old.write_text("{}")
+    new.write_text("{}")
+    assert latest_baseline(tmp_path) == new
+    assert latest_baseline(tmp_path, exclude=new) == old
+    assert latest_baseline(tmp_path / "empty") is None
+
+
+def test_format_report_lists_every_metric(tiny_run):
+    report, _ = tiny_run
+    text = format_report(report)
+    for name in report["metrics"]:
+        assert name in text
+    assert report["date"] in text
