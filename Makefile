@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-csv bench-trajectory examples smoke faults concurrency dist report all
+.PHONY: install test coverage bench bench-csv bench-trajectory examples smoke faults concurrency dist load report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -60,6 +60,15 @@ dist:
 	$(PYTHON) -m repro train --policy spidercache --samples 600 --epochs 3 \
 		--world-size 2 --shared-cache --cache-shards 2 \
 		--resize-shards-at 1:4
+
+# Load-harness suite (-m load: trace properties, replay differential,
+# autoscaler, golden report) under the increased Hypothesis budget, plus
+# a small autoscaled replay smoke tuned to exercise one grow and one
+# shrink (the golden-fixture recipe; see tests/load/).
+load:
+	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -m load
+	$(PYTHON) -m repro load --requests 6000 --keys 400 --capacity 200 \
+		--window 300 --base-rate 300 --seed 7
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

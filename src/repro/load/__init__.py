@@ -1,0 +1,70 @@
+"""repro.load — trace-driven load harness for the sharded cache tier.
+
+Closes the policy half of ROADMAP item 1: seeded workload generators
+(:mod:`~repro.load.traces`), a replay harness measuring per-request tail
+latency and SLO attainment (:mod:`~repro.load.replay`,
+:mod:`~repro.load.slo`), and a hysteresis autoscaler driving live ring
+resizes mid-replay (:mod:`~repro.load.autoscaler`) — every resize
+re-checked with the ``verify_placement()`` oracle.
+"""
+
+from repro.load.autoscaler import Autoscaler, AutoscalerConfig, ScaleDecision
+from repro.load.replay import (
+    CongestionLatency,
+    LoadResult,
+    ReplayConfig,
+    ReplayHarness,
+    apply_request,
+    neighbors_for,
+    payload_for,
+    write_load_artifacts,
+)
+from repro.load.slo import LatencyStats, SloPolicy, WindowStats, nearest_rank
+from repro.load.traces import (
+    OP_GET,
+    OP_PUT,
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    LoadTrace,
+    ModulatedArrivals,
+    TraceConfig,
+    expected_top_k_mass,
+    make_trace,
+    mix_traces,
+    top_k_mass,
+    zipfian_keys,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleDecision",
+    "CongestionLatency",
+    "LoadResult",
+    "ReplayConfig",
+    "ReplayHarness",
+    "apply_request",
+    "neighbors_for",
+    "payload_for",
+    "write_load_artifacts",
+    "LatencyStats",
+    "SloPolicy",
+    "WindowStats",
+    "nearest_rank",
+    "OP_GET",
+    "OP_PUT",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "ConstantArrivals",
+    "DiurnalArrivals",
+    "LoadTrace",
+    "ModulatedArrivals",
+    "TraceConfig",
+    "expected_top_k_mass",
+    "make_trace",
+    "mix_traces",
+    "top_k_mass",
+    "zipfian_keys",
+]

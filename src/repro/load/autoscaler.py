@@ -1,0 +1,211 @@
+"""Shard-fleet autoscaler: hysteresis on tail latency and queue pressure.
+
+The autoscaler is a pure decision function over per-window service
+summaries (:class:`~repro.load.slo.WindowStats`): the replay harness
+feeds it one observation per window and executes whatever
+:class:`ScaleDecision` comes back (``ShardedCacheClient.resize`` +
+incremental ``continue_migration`` drains). Keeping it side-effect-free
+makes every rule unit-testable without a cache tier.
+
+Three signals, three guards against flapping:
+
+* **signals** — windowed p99 latency, utilization (offered rate per
+  shard vs the configured service rate — the queue-pressure proxy), and
+  optionally per-shard key occupancy;
+* **hysteresis band** — grow above ``p99_high_s``/``util_high``, shrink
+  only below the *separate, lower* ``p99_low_s``/``util_low``, so a
+  fleet sized just right sits still;
+* **streaks + cooldown** — a breach must persist for
+  ``breach_windows`` consecutive windows to trigger, and after any
+  decision the scaler sleeps ``cooldown_windows`` windows (migrations
+  in flight also block new decisions).
+
+Decisions are multiplicative (``growth_factor``), clamped to
+``[min_shards, max_shards]`` — the classic doubling/halving ladder, so
+a burst is absorbed in O(log K) windows instead of K.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.load.slo import WindowStats
+
+__all__ = ["AutoscalerConfig", "ScaleDecision", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Thresholds, hysteresis, and cooldown for :class:`Autoscaler`."""
+
+    min_shards: int = 1
+    max_shards: int = 8
+    p99_high_s: float = 8e-3  # grow when windowed p99 exceeds this
+    p99_low_s: float = 3e-3  # shrink only when p99 is under this
+    util_high: float = 0.85  # grow when offered/(shards*svc_rate) exceeds
+    util_low: float = 0.30  # shrink only when utilization is under this
+    occ_high: Optional[float] = None  # per-shard occupancy grow signal
+    target_keys_per_shard: Optional[int] = None  # occupancy denominator
+    breach_windows: int = 2  # consecutive breaches before acting
+    cooldown_windows: int = 3  # windows to sleep after any decision
+    growth_factor: float = 2.0  # multiplicative grow / shrink step
+
+    def __post_init__(self) -> None:
+        if self.min_shards < 1 or self.max_shards < self.min_shards:
+            raise ValueError("need 1 <= min_shards <= max_shards")
+        if self.p99_high_s <= 0 or self.p99_low_s <= 0:
+            raise ValueError("p99 thresholds must be positive")
+        if self.p99_low_s >= self.p99_high_s:
+            raise ValueError("p99_low_s must be < p99_high_s (hysteresis band)")
+        if self.util_high <= 0 or self.util_low < 0:
+            raise ValueError("utilization thresholds must be non-negative")
+        if self.util_low >= self.util_high:
+            raise ValueError("util_low must be < util_high (hysteresis band)")
+        if (self.occ_high is None) != (self.target_keys_per_shard is None):
+            raise ValueError(
+                "occ_high and target_keys_per_shard must be set together"
+            )
+        if self.target_keys_per_shard is not None and self.target_keys_per_shard < 1:
+            raise ValueError("target_keys_per_shard must be >= 1")
+        if self.breach_windows < 1 or self.cooldown_windows < 0:
+            raise ValueError("breach_windows >= 1 and cooldown_windows >= 0")
+        if self.growth_factor <= 1.0:
+            raise ValueError("growth_factor must be > 1")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "min_shards": self.min_shards,
+            "max_shards": self.max_shards,
+            "p99_high_s": self.p99_high_s,
+            "p99_low_s": self.p99_low_s,
+            "util_high": self.util_high,
+            "util_low": self.util_low,
+            "occ_high": self.occ_high,
+            "target_keys_per_shard": self.target_keys_per_shard,
+            "breach_windows": self.breach_windows,
+            "cooldown_windows": self.cooldown_windows,
+            "growth_factor": self.growth_factor,
+        }
+
+
+@dataclass(frozen=True)
+class ScaleDecision:
+    """One resize the autoscaler asked for (action ∈ {grow, shrink})."""
+
+    window: int
+    action: str
+    old_n: int
+    new_n: int
+    p99_s: float
+    utilization: float
+    occupancy: float
+    reason: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "window": self.window,
+            "action": self.action,
+            "old_n": self.old_n,
+            "new_n": self.new_n,
+            "p99_s": self.p99_s,
+            "utilization": self.utilization,
+            "occupancy": self.occupancy,
+            "reason": self.reason,
+        }
+
+
+class Autoscaler:
+    """Stateful wrapper around the decision rule (streaks + cooldown)."""
+
+    def __init__(self, config: Optional[AutoscalerConfig] = None) -> None:
+        self.config = config if config is not None else AutoscalerConfig()
+        self.decisions: List[ScaleDecision] = []
+        self._up_streak = 0
+        self._down_streak = 0
+        self._cooldown = 0
+
+    # ------------------------------------------------------------------
+    def _occupancy(self, resident_keys: int, n_shards: int) -> float:
+        cfg = self.config
+        if cfg.target_keys_per_shard is None:
+            return 0.0
+        return resident_keys / float(cfg.target_keys_per_shard * n_shards)
+
+    def observe(
+        self,
+        window: WindowStats,
+        resident_keys: int = 0,
+        migration_in_flight: bool = False,
+    ) -> Optional[ScaleDecision]:
+        """Feed one window; returns a decision or ``None``.
+
+        ``resident_keys`` drives the optional occupancy signal;
+        ``migration_in_flight`` blocks new decisions (one resize at a
+        time — the harness drains the current migration first).
+        """
+        cfg = self.config
+        n = window.n_shards
+        p99 = window.stats.p99_s
+        util = window.utilization
+        occ = self._occupancy(resident_keys, n)
+
+        up_reasons = []
+        if p99 > cfg.p99_high_s:
+            up_reasons.append(f"p99 {p99 * 1e3:.2f}ms > {cfg.p99_high_s * 1e3:.2f}ms")
+        if util > cfg.util_high:
+            up_reasons.append(f"util {util:.2f} > {cfg.util_high:.2f}")
+        if cfg.occ_high is not None and occ > cfg.occ_high:
+            up_reasons.append(f"occupancy {occ:.2f} > {cfg.occ_high:.2f}")
+        breach_up = bool(up_reasons)
+        breach_down = (
+            p99 < cfg.p99_low_s
+            and util < cfg.util_low
+            and (cfg.occ_high is None or occ < cfg.occ_high)
+        )
+
+        self._up_streak = self._up_streak + 1 if breach_up else 0
+        self._down_streak = self._down_streak + 1 if breach_down else 0
+
+        if migration_in_flight:
+            return None
+        if self._cooldown > 0:
+            self._cooldown -= 1
+            return None
+
+        decision: Optional[ScaleDecision] = None
+        if self._up_streak >= cfg.breach_windows and n < cfg.max_shards:
+            new_n = min(cfg.max_shards, math.ceil(n * cfg.growth_factor))
+            decision = ScaleDecision(
+                window=window.window, action="grow", old_n=n, new_n=new_n,
+                p99_s=p99, utilization=util, occupancy=occ,
+                reason="; ".join(up_reasons),
+            )
+        elif self._down_streak >= cfg.breach_windows and n > cfg.min_shards:
+            new_n = max(cfg.min_shards, int(n // cfg.growth_factor))
+            if new_n < n:
+                decision = ScaleDecision(
+                    window=window.window, action="shrink", old_n=n, new_n=new_n,
+                    p99_s=p99, utilization=util, occupancy=occ,
+                    reason=(
+                        f"p99 {p99 * 1e3:.2f}ms < {cfg.p99_low_s * 1e3:.2f}ms"
+                        f" and util {util:.2f} < {cfg.util_low:.2f}"
+                    ),
+                )
+        if decision is not None:
+            self.decisions.append(decision)
+            self._up_streak = 0
+            self._down_streak = 0
+            self._cooldown = cfg.cooldown_windows
+        return decision
+
+    @property
+    def grows(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "grow")
+
+    @property
+    def shrinks(self) -> int:
+        return sum(1 for d in self.decisions if d.action == "shrink")

@@ -1,0 +1,124 @@
+"""Tail-latency statistics and SLO attainment.
+
+The load harness records one latency per replayed request; this module
+turns those samples into the numbers operators actually watch: nearest-
+rank percentiles (p50 / p99 / p999) and the attainment of a latency SLO
+(``fraction of requests served within target_s`` vs a goal like 99%).
+
+Nearest-rank percentiles are used deliberately: they are exact order
+statistics of the sample, so two bit-identical runs produce bit-identical
+reports — no interpolation-mode ambiguity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+import numpy as np
+
+__all__ = ["nearest_rank", "LatencyStats", "SloPolicy", "WindowStats"]
+
+
+def nearest_rank(sorted_samples: np.ndarray, q: float) -> float:
+    """Nearest-rank percentile ``q`` (in [0, 100]) of a sorted array."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    n = len(sorted_samples)
+    if n == 0:
+        return 0.0
+    rank = int(np.ceil(q / 100.0 * n))
+    return float(sorted_samples[max(rank, 1) - 1])
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Order-statistic summary of a latency sample set."""
+
+    n: int
+    mean_s: float
+    p50_s: float
+    p99_s: float
+    p999_s: float
+    max_s: float
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "LatencyStats":
+        """Summarize raw per-request latencies (any order)."""
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        s = np.sort(arr)
+        return cls(
+            n=int(s.size),
+            mean_s=float(s.mean()),
+            p50_s=nearest_rank(s, 50.0),
+            p99_s=nearest_rank(s, 99.0),
+            p999_s=nearest_rank(s, 99.9),
+            max_s=float(s[-1]),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "n": self.n,
+            "mean_s": self.mean_s,
+            "p50_s": self.p50_s,
+            "p99_s": self.p99_s,
+            "p999_s": self.p999_s,
+            "max_s": self.max_s,
+        }
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A latency SLO: ``goal`` fraction of requests within ``target_s``."""
+
+    target_s: float
+    goal: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.target_s <= 0:
+            raise ValueError("target_s must be positive")
+        if not 0.0 < self.goal <= 1.0:
+            raise ValueError("goal must be in (0, 1]")
+
+    def attainment(self, samples: np.ndarray) -> float:
+        """Fraction of samples at or under the target (1.0 when empty)."""
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            return 1.0
+        return float(np.count_nonzero(arr <= self.target_s)) / float(arr.size)
+
+    def met(self, samples: np.ndarray) -> bool:
+        """Did the sample set attain the goal?"""
+        return self.attainment(samples) >= self.goal
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {"target_s": self.target_s, "goal": self.goal}
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """One replay window's service summary (the autoscaler's input)."""
+
+    window: int  # 0-based window index
+    n: int  # requests in the window
+    stats: LatencyStats
+    attainment: float  # SLO attainment within the window
+    offered_rps: float  # arrival rate over the window's trace span
+    utilization: float  # offered / (n_shards * service_rate)
+    n_shards: int  # effective shard count during the window
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "window": self.window,
+            "n": self.n,
+            "latency": self.stats.as_dict(),
+            "attainment": self.attainment,
+            "offered_rps": self.offered_rps,
+            "utilization": self.utilization,
+            "n_shards": self.n_shards,
+        }

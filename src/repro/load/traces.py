@@ -1,0 +1,508 @@
+"""Deterministic, seeded access-trace generators.
+
+The load harness evaluates the shard tier the way the semantic-caching
+literature does: by replaying *skewed, bursty* request streams rather
+than uniform synthetic ops. This module generates those streams as
+:class:`LoadTrace` objects — flat numpy arrays of keys, ops, scores, and
+arrival timestamps — at the 1e5–1e6 request scale, fully reproducible
+from a single integer seed.
+
+Three axes compose independently:
+
+* **key popularity** — :func:`zipfian_keys` draws keys from a Zipf(s)
+  distribution over a seeded permutation of the keyspace, so hot keys
+  are spread across the consistent-hash ring instead of clustering at
+  low ids;
+* **arrival process** — :class:`ConstantArrivals`,
+  :class:`BurstyArrivals` (Markov-modulated on/off rates), and
+  :class:`DiurnalArrivals` (sinusoidal rate modulation), plus
+  :class:`ModulatedArrivals` to multiply a diurnal envelope onto any
+  base process. All sample a non-homogeneous Poisson process exactly,
+  by inverting the piecewise-linear cumulative hazard — no thinning, no
+  rejection, so the same seed always yields the same arrivals;
+* **op mix** — each request is a GET (cache fetch with an importance
+  score) or a PUT (homophily insert), drawn per-request from
+  ``put_fraction``.
+
+:func:`mix_traces` merges any number of traces by arrival time
+(stable), preserving the total request count — the composable mixer for
+multi-tenant-style workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RngLike, resolve_rng, spawn_rngs
+
+__all__ = [
+    "OP_GET",
+    "OP_PUT",
+    "LoadTrace",
+    "TraceConfig",
+    "ArrivalProcess",
+    "ConstantArrivals",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "ModulatedArrivals",
+    "zipfian_keys",
+    "top_k_mass",
+    "expected_top_k_mass",
+    "make_trace",
+    "mix_traces",
+]
+
+#: Request op codes (uint8 in the trace arrays).
+OP_GET = 0
+OP_PUT = 1
+
+
+# ----------------------------------------------------------------------
+# trace container
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, eq=False)
+class LoadTrace:
+    """One replayable access trace (parallel arrays, one row per request).
+
+    ``arrival_s`` is nondecreasing simulated time; ``keys`` are sample
+    ids in ``[0, n_keys)``; ``ops`` are :data:`OP_GET`/:data:`OP_PUT`;
+    ``scores`` are the importance scores GETs carry into the cache
+    protocol. ``meta`` records generator provenance (seed, skew, rates)
+    for run artifacts.
+    """
+
+    keys: np.ndarray
+    ops: np.ndarray
+    scores: np.ndarray
+    arrival_s: np.ndarray
+    n_keys: int
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        n = len(self.keys)
+        if not (len(self.ops) == len(self.scores) == len(self.arrival_s) == n):
+            raise ValueError("trace arrays must have equal length")
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if n:
+            if np.any(np.diff(self.arrival_s) < 0):
+                raise ValueError("arrival_s must be nondecreasing")
+            if self.keys.min() < 0 or self.keys.max() >= self.n_keys:
+                raise ValueError("keys must lie in [0, n_keys)")
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def duration_s(self) -> float:
+        """Span of the arrival timeline (0 for empty traces)."""
+        if not len(self):
+            return 0.0
+        return float(self.arrival_s[-1] - self.arrival_s[0])
+
+    @property
+    def offered_rps(self) -> float:
+        """Mean offered request rate over the trace's duration."""
+        dur = self.duration_s
+        return len(self) / dur if dur > 0 else 0.0
+
+    def checksum(self) -> str:
+        """Content hash — bit-identical traces have equal checksums."""
+        h = hashlib.sha256()
+        h.update(str(self.n_keys).encode())
+        for arr in (self.keys, self.ops, self.scores, self.arrival_s):
+            h.update(np.ascontiguousarray(arr).tobytes())
+        return h.hexdigest()[:16]
+
+    # -- persistence ----------------------------------------------------
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the trace as an ``.npz`` archive (meta as JSON)."""
+        path = Path(path)
+        np.savez_compressed(
+            path,
+            keys=self.keys,
+            ops=self.ops,
+            scores=self.scores,
+            arrival_s=self.arrival_s,
+            n_keys=np.int64(self.n_keys),
+            meta=np.frombuffer(
+                json.dumps(self.meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "LoadTrace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as z:
+            meta = json.loads(bytes(z["meta"].tobytes()).decode())
+            return cls(
+                keys=z["keys"],
+                ops=z["ops"],
+                scores=z["scores"],
+                arrival_s=z["arrival_s"],
+                n_keys=int(z["n_keys"]),
+                meta=meta,
+            )
+
+
+# ----------------------------------------------------------------------
+# key popularity
+# ----------------------------------------------------------------------
+def zipfian_keys(
+    n_requests: int, n_keys: int, exponent: float, rng: RngLike = None
+) -> np.ndarray:
+    """Draw ``n_requests`` keys with Zipf(``exponent``) popularity.
+
+    Rank ``r`` (1-based) has probability proportional to ``r**-exponent``;
+    ``exponent=0`` is uniform. Ranks are mapped to key ids through a
+    seeded permutation so the hot set is spread over the keyspace (and
+    therefore over the consistent-hash ring).
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if n_keys < 1:
+        raise ValueError("n_keys must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    rng = resolve_rng(rng)
+    weights = np.arange(1, n_keys + 1, dtype=np.float64) ** -float(exponent)
+    p = weights / weights.sum()
+    ranks = rng.choice(n_keys, size=int(n_requests), p=p)
+    perm = rng.permutation(n_keys)
+    return perm[ranks].astype(np.int64)
+
+
+def top_k_mass(keys: np.ndarray, k: int) -> float:
+    """Fraction of requests landing on the ``k`` most frequent keys."""
+    if len(keys) == 0:
+        return 0.0
+    counts = np.bincount(np.asarray(keys, dtype=np.int64))
+    top = np.sort(counts)[::-1][: max(int(k), 0)]
+    return float(top.sum()) / float(len(keys))
+
+
+def expected_top_k_mass(n_keys: int, exponent: float, k: int) -> float:
+    """Theoretical top-``k`` probability mass of Zipf(``exponent``)."""
+    weights = np.arange(1, n_keys + 1, dtype=np.float64) ** -float(exponent)
+    p = np.sort(weights / weights.sum())[::-1]
+    return float(p[: max(int(k), 0)].sum())
+
+
+# ----------------------------------------------------------------------
+# arrival processes (exact non-homogeneous Poisson sampling)
+# ----------------------------------------------------------------------
+def _sample_from_segments(
+    segments: Iterator[Tuple[float, float]], targets: np.ndarray
+) -> np.ndarray:
+    """Invert a piecewise-linear cumulative hazard at ``targets``.
+
+    ``segments`` yields ``(duration_s, rate)`` pieces with strictly
+    positive rate; the cumulative hazard Λ(t) is piecewise linear over
+    them, so arrival times are exactly ``Λ⁻¹`` of the cumulative
+    exponential(1) targets — evaluated with ``np.interp``.
+    """
+    if len(targets) == 0:
+        return np.empty(0, dtype=np.float64)
+    need = float(targets[-1])
+    t_nodes: List[float] = [0.0]
+    h_nodes: List[float] = [0.0]
+    t = 0.0
+    h = 0.0
+    for dur, rate in segments:
+        if rate <= 0 or dur <= 0:
+            raise ValueError("segments need positive duration and rate")
+        t += dur
+        h += dur * rate
+        t_nodes.append(t)
+        h_nodes.append(h)
+        if h >= need:
+            return np.interp(targets, h_nodes, t_nodes)
+    raise RuntimeError("arrival segments exhausted before the trace filled")
+
+
+class ArrivalProcess:
+    """Base class: a rate envelope plus exact Poisson arrival sampling.
+
+    Subclasses implement :meth:`_segments` (an iterator of
+    ``(duration_s, rate)`` pieces, drawn from the rng where the process
+    is stochastic) and expose ``min_rate``/``max_rate`` — the hard
+    envelope the instantaneous rate never leaves, which the property
+    suite checks.
+    """
+
+    min_rate: float
+    max_rate: float
+
+    def _segments(self, rng: np.random.Generator) -> Iterator[Tuple[float, float]]:
+        raise NotImplementedError
+
+    def sample_arrivals(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` nondecreasing arrival times (seconds from 0).
+
+        Deterministic given the rng: exponential(1) hazard targets are
+        drawn first, then any stochastic envelope pieces, so the same
+        seed always produces the same trace.
+        """
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        rng = resolve_rng(rng)
+        targets = np.cumsum(rng.exponential(1.0, size=int(n)))
+        return _sample_from_segments(self._segments(rng), targets)
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-safe provenance for trace meta."""
+        return {"kind": type(self).__name__}
+
+
+class ConstantArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals at a fixed rate (requests/second)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.min_rate = self.rate
+        self.max_rate = self.rate
+
+    def _segments(self, rng: np.random.Generator) -> Iterator[Tuple[float, float]]:
+        chunk = 1024.0 / self.rate  # ~1024 expected arrivals per piece
+        while True:
+            yield (chunk, self.rate)
+
+    def describe(self) -> Dict[str, Any]:
+        return {"kind": "constant", "rate": self.rate}
+
+
+class BurstyArrivals(ArrivalProcess):
+    """Markov-modulated on/off arrivals (exponential phase durations).
+
+    Alternates ON phases at ``rate_high`` (mean length ``mean_on_s``)
+    with OFF phases at ``rate_low`` (mean ``mean_off_s``), starting ON.
+    The instantaneous rate is always in ``[rate_low, rate_high]``.
+    """
+
+    def __init__(
+        self,
+        rate_low: float,
+        rate_high: float,
+        mean_on_s: float,
+        mean_off_s: float,
+    ) -> None:
+        if rate_low <= 0 or rate_high <= 0:
+            raise ValueError("rates must be positive")
+        if rate_high < rate_low:
+            raise ValueError("rate_high must be >= rate_low")
+        if mean_on_s <= 0 or mean_off_s <= 0:
+            raise ValueError("phase means must be positive")
+        self.rate_low = float(rate_low)
+        self.rate_high = float(rate_high)
+        self.mean_on_s = float(mean_on_s)
+        self.mean_off_s = float(mean_off_s)
+        self.min_rate = self.rate_low
+        self.max_rate = self.rate_high
+
+    def _segments(self, rng: np.random.Generator) -> Iterator[Tuple[float, float]]:
+        while True:
+            yield (float(rng.exponential(self.mean_on_s)) + 1e-9, self.rate_high)
+            yield (float(rng.exponential(self.mean_off_s)) + 1e-9, self.rate_low)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "bursty",
+            "rate_low": self.rate_low,
+            "rate_high": self.rate_high,
+            "mean_on_s": self.mean_on_s,
+            "mean_off_s": self.mean_off_s,
+        }
+
+
+class DiurnalArrivals(ArrivalProcess):
+    """Sinusoidal rate modulation: ``base * (1 + amp * sin(2πt/period))``.
+
+    ``amplitude`` must be in ``[0, 1)`` so the rate stays positive; the
+    envelope is ``[base*(1-amp), base*(1+amp)]``. The continuous rate is
+    discretized to ``period_s / 256`` steps for hazard inversion.
+    """
+
+    STEPS_PER_PERIOD = 256
+
+    def __init__(
+        self, base_rate: float, amplitude: float, period_s: float
+    ) -> None:
+        if base_rate <= 0:
+            raise ValueError("base_rate must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.base_rate = float(base_rate)
+        self.amplitude = float(amplitude)
+        self.period_s = float(period_s)
+        self.min_rate = self.base_rate * (1.0 - self.amplitude)
+        self.max_rate = self.base_rate * (1.0 + self.amplitude)
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous configured rate at time ``t``."""
+        return self.base_rate * (
+            1.0 + self.amplitude * np.sin(2.0 * np.pi * t / self.period_s)
+        )
+
+    def _segments(self, rng: np.random.Generator) -> Iterator[Tuple[float, float]]:
+        dt = self.period_s / self.STEPS_PER_PERIOD
+        t = 0.0
+        while True:
+            yield (dt, float(self.rate_at(t + dt / 2.0)))
+            t += dt
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "diurnal",
+            "base_rate": self.base_rate,
+            "amplitude": self.amplitude,
+            "period_s": self.period_s,
+        }
+
+
+class ModulatedArrivals(ArrivalProcess):
+    """Multiply a diurnal envelope onto any base arrival process.
+
+    The base's segments are subdivided to the diurnal discretization
+    step and each piece's rate is scaled by
+    ``1 + amplitude * sin(2πt/period)`` — e.g. bursty traffic whose
+    burst *and* idle rates both swing through a daily cycle.
+    """
+
+    def __init__(
+        self, base: ArrivalProcess, amplitude: float, period_s: float
+    ) -> None:
+        if not 0.0 <= amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        self.base = base
+        self.amplitude = float(amplitude)
+        self.period_s = float(period_s)
+        self.min_rate = base.min_rate * (1.0 - self.amplitude)
+        self.max_rate = base.max_rate * (1.0 + self.amplitude)
+
+    def _factor(self, t: float) -> float:
+        return 1.0 + self.amplitude * float(
+            np.sin(2.0 * np.pi * t / self.period_s)
+        )
+
+    def _segments(self, rng: np.random.Generator) -> Iterator[Tuple[float, float]]:
+        dt = self.period_s / DiurnalArrivals.STEPS_PER_PERIOD
+        t = 0.0
+        for dur, rate in self.base._segments(rng):
+            left = dur
+            while left > 0:
+                piece = min(left, dt)
+                yield (piece, rate * self._factor(t + piece / 2.0))
+                t += piece
+                left -= piece
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "kind": "modulated",
+            "base": self.base.describe(),
+            "amplitude": self.amplitude,
+            "period_s": self.period_s,
+        }
+
+
+# ----------------------------------------------------------------------
+# trace generation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TraceConfig:
+    """Shape of one generated trace (key skew + op mix; arrivals are a
+    separate :class:`ArrivalProcess` so the axes compose freely)."""
+
+    n_requests: int
+    n_keys: int
+    zipf_exponent: float = 1.1
+    put_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 0:
+            raise ValueError("n_requests must be >= 0")
+        if self.n_keys < 1:
+            raise ValueError("n_keys must be >= 1")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be >= 0")
+        if not 0.0 <= self.put_fraction < 1.0:
+            raise ValueError("put_fraction must be in [0, 1)")
+
+
+def make_trace(
+    config: TraceConfig,
+    arrivals: ArrivalProcess,
+    seed: RngLike = 0,
+) -> LoadTrace:
+    """Generate one trace: zipfian keys + op mix over an arrival process.
+
+    Every stochastic draw comes from independent children of ``seed``
+    (``spawn_rngs``), so the same seed is bit-identical regardless of
+    how any one stream is consumed internally.
+    """
+    key_rng, op_rng, score_rng, arr_rng = spawn_rngs(seed, 4)
+    n = config.n_requests
+    keys = zipfian_keys(n, config.n_keys, config.zipf_exponent, key_rng)
+    ops = (op_rng.random(n) < config.put_fraction).astype(np.uint8)
+    # Lognormal scores: the skewed importance distribution the paper's
+    # IS sampling produces (most samples cheap, a heavy useful tail).
+    scores = score_rng.lognormal(mean=0.0, sigma=1.0, size=n) + 0.05
+    arrival_s = arrivals.sample_arrivals(n, arr_rng)
+    seed_meta: Any = seed if isinstance(seed, (int, np.integer)) else None
+    return LoadTrace(
+        keys=keys,
+        ops=ops,
+        scores=scores,
+        arrival_s=arrival_s,
+        n_keys=config.n_keys,
+        meta={
+            "seed": None if seed_meta is None else int(seed_meta),
+            "n_requests": int(n),
+            "n_keys": int(config.n_keys),
+            "zipf_exponent": float(config.zipf_exponent),
+            "put_fraction": float(config.put_fraction),
+            "arrivals": arrivals.describe(),
+        },
+    )
+
+
+def mix_traces(traces: Sequence[LoadTrace]) -> LoadTrace:
+    """Merge traces by arrival time (stable), preserving every request.
+
+    Ties are broken by input position (earlier trace first), so mixing
+    is deterministic. The mixed keyspace is the max of the inputs'.
+    """
+    traces = [t for t in traces if len(t)]
+    if not traces:
+        raise ValueError("need at least one non-empty trace")
+    keys = np.concatenate([t.keys for t in traces])
+    ops = np.concatenate([t.ops for t in traces])
+    scores = np.concatenate([t.scores for t in traces])
+    arrival = np.concatenate([t.arrival_s for t in traces])
+    which = np.concatenate(
+        [np.full(len(t), i, dtype=np.int64) for i, t in enumerate(traces)]
+    )
+    pos = np.concatenate(
+        [np.arange(len(t), dtype=np.int64) for t in traces]
+    )
+    order = np.lexsort((pos, which, arrival))  # arrival is primary
+    return LoadTrace(
+        keys=keys[order],
+        ops=ops[order],
+        scores=scores[order],
+        arrival_s=arrival[order],
+        n_keys=max(t.n_keys for t in traces),
+        meta={"mixed": [t.meta for t in traces]},
+    )

@@ -252,6 +252,66 @@ class Observer:
             m.gauge(f"shard{sid}.hom_len").set(snap["hom_len"])
         self.emit("shards", shards=list(snapshots))
 
+    # -- load harness ----------------------------------------------------
+    def on_load_window(
+        self,
+        window: int,
+        n: int,
+        p50_s: float,
+        p99_s: float,
+        p999_s: float,
+        attainment: float,
+        offered_rps: float,
+        utilization: float,
+        n_shards: int,
+    ) -> None:
+        """The replay harness closed one request window."""
+        m = self.metrics
+        m.counter("load.windows").inc()
+        m.counter("load.requests").inc(n)
+        m.gauge("load.p99_s").set(p99_s)
+        m.gauge("load.attainment").set(attainment)
+        m.gauge("load.utilization").set(utilization)
+        m.gauge("load.n_shards").set(n_shards)
+        self.emit(
+            "load_window",
+            window=int(window),
+            n=int(n),
+            p50_s=float(p50_s),
+            p99_s=float(p99_s),
+            p999_s=float(p999_s),
+            attainment=float(attainment),
+            offered_rps=float(offered_rps),
+            utilization=float(utilization),
+            n_shards=int(n_shards),
+        )
+
+    def on_autoscale(
+        self,
+        action: str,
+        old_n: int,
+        new_n: int,
+        window: int,
+        reason: str,
+        p99_s: float,
+        utilization: float,
+    ) -> None:
+        """The autoscaler issued a grow/shrink decision during replay."""
+        m = self.metrics
+        m.counter("autoscale.decisions").inc()
+        m.counter(f"autoscale.{action}").inc()
+        m.gauge("autoscale.n_shards").set(new_n)
+        self.emit(
+            "autoscale",
+            action=action,
+            old_n_shards=int(old_n),
+            new_n_shards=int(new_n),
+            window=int(window),
+            reason=reason,
+            p99_s=float(p99_s),
+            utilization=float(utilization),
+        )
+
     # -- resilience ------------------------------------------------------
     def on_breaker(self, old: str, new: str, at_s: float) -> None:
         """The circuit breaker changed state."""

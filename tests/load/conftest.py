@@ -1,0 +1,19 @@
+"""Shared config for the load-harness suite.
+
+Registers Hypothesis profiles when Hypothesis is installed (the tier-1
+CI job installs only numpy+pytest; the property tests importorskip).
+Select a profile with ``REPRO_HYPOTHESIS_PROFILE=ci`` — the CI load job
+uses the bigger example budget.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - property tests skip themselves
+    settings = None
+
+if settings is not None:
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.register_profile("ci", max_examples=300, deadline=None)
+    settings.load_profile(os.environ.get("REPRO_HYPOTHESIS_PROFILE", "dev"))

@@ -1,0 +1,173 @@
+"""Unit tests for the hysteresis autoscaler (pure decision rule)."""
+
+import pytest
+
+from repro.load.autoscaler import Autoscaler, AutoscalerConfig
+from repro.load.slo import LatencyStats, WindowStats
+
+pytestmark = pytest.mark.load
+
+
+def make_window(idx, p99_s, utilization, n_shards, n=100):
+    stats = LatencyStats(
+        n=n, mean_s=p99_s / 2, p50_s=p99_s / 2, p99_s=p99_s,
+        p999_s=p99_s, max_s=p99_s,
+    )
+    return WindowStats(
+        window=idx, n=n, stats=stats, attainment=1.0,
+        offered_rps=utilization * 2000.0 * n_shards,
+        utilization=utilization, n_shards=n_shards,
+    )
+
+
+CFG = AutoscalerConfig(
+    min_shards=1, max_shards=8, p99_high_s=8e-3, p99_low_s=3e-3,
+    util_high=0.85, util_low=0.30, breach_windows=2, cooldown_windows=3,
+)
+
+
+def feed(scaler, specs, start=0):
+    """Feed (p99, util, n_shards) windows; returns the decisions made."""
+    out = []
+    for i, (p99, util, n) in enumerate(specs, start=start):
+        out.append(scaler.observe(make_window(i, p99, util, n)))
+    return out
+
+
+# ----------------------------------------------------------------------
+# hysteresis + streaks
+# ----------------------------------------------------------------------
+def test_single_breach_window_does_not_trigger():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(10e-3, 0.5, 2), (1e-3, 0.1, 2)])
+    assert got == [None, None]  # streak broken before breach_windows
+
+
+def test_sustained_p99_breach_grows():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(10e-3, 0.5, 2), (10e-3, 0.5, 2)])
+    assert got[0] is None
+    d = got[1]
+    assert d is not None and d.action == "grow"
+    assert d.old_n == 2 and d.new_n == 4
+    assert "p99" in d.reason
+
+
+def test_sustained_util_breach_grows():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(1e-3, 0.95, 2), (1e-3, 0.95, 2)])
+    assert got[1] is not None and got[1].action == "grow"
+    assert "util" in got[1].reason
+
+
+def test_mid_band_is_stable():
+    """Between the low and high thresholds nothing ever happens."""
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(5e-3, 0.5, 4)] * 10)
+    assert got == [None] * 10
+
+
+def test_shrink_requires_both_signals_low():
+    scaler = Autoscaler(CFG)
+    # p99 low but util mid-band: no shrink.
+    assert feed(scaler, [(1e-3, 0.5, 4)] * 4) == [None] * 4
+    # Both low: shrink after breach_windows.
+    got = feed(Autoscaler(CFG), [(1e-3, 0.1, 4)] * 2)
+    d = got[1]
+    assert d is not None and d.action == "shrink"
+    assert d.old_n == 4 and d.new_n == 2
+
+
+# ----------------------------------------------------------------------
+# cooldown + clamps
+# ----------------------------------------------------------------------
+def test_cooldown_blocks_consecutive_decisions():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(10e-3, 0.95, 2)] * 8)
+    decisions = [d for d in got if d is not None]
+    # Decision at window 1, then 3 cooldown windows (2,3,4) during which
+    # the still-breaching streak keeps accumulating, so the next decision
+    # fires the moment cooldown expires (window 5) — and not before.
+    assert [d.window for d in decisions] == [1, 5]
+    assert all(got[i] is None for i in (2, 3, 4))
+
+
+def test_growth_clamped_at_max_shards():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(10e-3, 0.95, 8)] * 4)
+    assert got == [None] * 4  # already at max: no decision at all
+
+
+def test_shrink_clamped_at_min_shards():
+    scaler = Autoscaler(CFG)
+    got = feed(scaler, [(1e-3, 0.05, 1)] * 4)
+    assert got == [None] * 4
+
+
+def test_growth_factor_ladder():
+    cfg = AutoscalerConfig(
+        min_shards=1, max_shards=10, growth_factor=1.5,
+        breach_windows=1, cooldown_windows=0,
+    )
+    scaler = Autoscaler(cfg)
+    d = scaler.observe(make_window(0, 10e-3, 0.95, 4))
+    assert d.new_n == 6  # ceil(4 * 1.5)
+    d = scaler.observe(make_window(1, 1e-3, 0.05, 6))
+    assert d.action == "shrink" and d.new_n == 4  # 6 // 1.5
+
+
+def test_migration_in_flight_blocks_but_streak_accumulates():
+    scaler = Autoscaler(CFG)
+    w = make_window(0, 10e-3, 0.95, 2)
+    assert scaler.observe(w, migration_in_flight=True) is None
+    assert scaler.observe(
+        make_window(1, 10e-3, 0.95, 2), migration_in_flight=True
+    ) is None
+    # Migration done: the accumulated streak fires immediately.
+    d = scaler.observe(make_window(2, 10e-3, 0.95, 2))
+    assert d is not None and d.action == "grow"
+
+
+def test_occupancy_signal_grows():
+    cfg = AutoscalerConfig(
+        occ_high=0.9, target_keys_per_shard=100,
+        breach_windows=1, cooldown_windows=0,
+    )
+    scaler = Autoscaler(cfg)
+    d = scaler.observe(make_window(0, 1e-3, 0.5, 2), resident_keys=200)
+    assert d is not None and d.action == "grow"
+    assert "occupancy" in d.reason
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"min_shards": 0},
+        {"max_shards": 1, "min_shards": 2},
+        {"p99_high_s": 0.0},
+        {"p99_low_s": 9e-3},  # >= p99_high_s default
+        {"util_low": 0.9},  # >= util_high default
+        {"occ_high": 0.9},  # without target_keys_per_shard
+        {"target_keys_per_shard": 10},  # without occ_high
+        {"occ_high": 0.9, "target_keys_per_shard": 0},
+        {"breach_windows": 0},
+        {"cooldown_windows": -1},
+        {"growth_factor": 1.0},
+    ],
+)
+def test_config_validation_rejects(kwargs):
+    with pytest.raises(ValueError):
+        AutoscalerConfig(**kwargs)
+
+
+def test_decision_counters_and_dicts():
+    scaler = Autoscaler(AutoscalerConfig(breach_windows=1, cooldown_windows=0))
+    scaler.observe(make_window(0, 10e-3, 0.95, 2))
+    scaler.observe(make_window(1, 1e-3, 0.05, 4))
+    assert scaler.grows == 1 and scaler.shrinks == 1
+    d = scaler.decisions[0].as_dict()
+    assert d["action"] == "grow" and d["old_n"] == 2 and d["new_n"] == 4
+    assert set(scaler.config.as_dict()) >= {"min_shards", "growth_factor"}

@@ -1,0 +1,147 @@
+"""Differential oracle: the replay harness adds no semantic drift.
+
+Replaying any trace through :class:`ReplayHarness` with autoscaling
+disabled must be *bit-identical* — same get/put outcome sequence (hits,
+substitutions, misses), same final ``state_dict`` — to issuing the same
+ops directly against a bare :class:`ShardedCacheClient`, for K∈{1,2,4}.
+The harness only adds clock advances and measurement around each op, and
+in a fault-free run simulated time never feeds back into policy state,
+so any divergence is a harness bug. Extends the conventions of
+``tests/dist/test_differential_oracle.py``.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.client import ShardedCacheClient
+from repro.load.replay import (
+    ReplayConfig,
+    ReplayHarness,
+    apply_request,
+    payload_for,
+)
+from repro.load.slo import SloPolicy
+from repro.load.traces import BurstyArrivals, TraceConfig, make_trace
+
+pytestmark = pytest.mark.load
+
+N_KEYS = 60
+CAPACITY = 24
+
+
+def make_replay_config(n_shards):
+    return ReplayConfig(
+        total_capacity=CAPACITY,
+        imp_ratio=0.8,
+        n_shards=n_shards,
+        window_requests=25,
+        slo=SloPolicy(target_s=0.02),
+        payload_dim=4,
+    )
+
+
+def make_reference_client(cfg):
+    """A bare client with the exact RPC stack the harness builds —
+    latency/clock differ (irrelevant: fault-free policy state is
+    time-independent)."""
+    return ShardedCacheClient(
+        cfg.total_capacity,
+        imp_ratio=cfg.imp_ratio,
+        n_shards=cfg.n_shards,
+        deadline_s=cfg.rpc_deadline_s,
+    )
+
+
+def deep_equal(a, b, path=""):
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        np.testing.assert_array_equal(a, b, err_msg=path)
+    elif isinstance(a, dict):
+        assert set(a) == set(b), path
+        for k in a:
+            deep_equal(a[k], b[k], f"{path}.{k}")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), path
+        for i, (x, y) in enumerate(zip(a, b)):
+            deep_equal(x, y, f"{path}[{i}]")
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def replay_directly(cfg, trace):
+    """Reference replay: the trace's ops applied straight to a client."""
+    client = make_reference_client(cfg)
+    remote = lambda i: payload_for(i, cfg.payload_dim)  # noqa: E731
+    outcomes = [
+        apply_request(
+            client, int(op), int(key), float(score), remote,
+            trace.n_keys, cfg.payload_dim,
+        )
+        for key, op, score in zip(trace.keys, trace.ops, trace.scores)
+    ]
+    return outcomes, client
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+@given(seed=st.integers(0, 2**31 - 1), n_requests=st.integers(10, 400))
+@settings(max_examples=25, deadline=None)
+def test_harness_replay_is_bit_identical_to_direct_ops(
+    n_shards, seed, n_requests
+):
+    trace = make_trace(
+        TraceConfig(n_requests=n_requests, n_keys=N_KEYS, put_fraction=0.15),
+        BurstyArrivals(200.0, 4000.0, 0.5, 1.0),
+        seed=seed,
+    )
+    cfg = make_replay_config(n_shards)
+
+    harness = ReplayHarness(cfg)  # no autoscaler
+    result = harness.run(trace, record_outcomes=True)
+    want, reference = replay_directly(cfg, trace)
+
+    assert result.outcomes == want
+    deep_equal(harness.client.state_dict(), reference.state_dict())
+    assert harness.client.hit_ratio == reference.hit_ratio
+    assert len(harness.client) == len(reference)
+    # The harness must not push the tier into degraded paths by itself.
+    assert harness.client.dropped_admits == 0
+    assert harness.client.degraded_lookups == 0
+    assert result.final_shards == n_shards
+    assert result.decisions == []
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_shard_count_is_invisible_to_outcomes(n_shards):
+    """Corollary: every K produces the same outcome stream (the dist
+    suite proves K == monolith; this pins the harness path)."""
+    trace = make_trace(
+        TraceConfig(n_requests=300, n_keys=N_KEYS, put_fraction=0.1),
+        BurstyArrivals(200.0, 4000.0, 0.5, 1.0),
+        seed=11,
+    )
+    res = ReplayHarness(make_replay_config(n_shards)).run(
+        trace, record_outcomes=True
+    )
+    res1 = ReplayHarness(make_replay_config(1)).run(
+        trace, record_outcomes=True
+    )
+    assert res.outcomes == res1.outcomes
+    assert res.cache["hit_ratio"] == res1.cache["hit_ratio"]
+
+
+def test_latency_recording_does_not_depend_on_outcome_capture():
+    """record_outcomes must be pure observation."""
+    trace = make_trace(
+        TraceConfig(n_requests=200, n_keys=N_KEYS),
+        BurstyArrivals(200.0, 4000.0, 0.5, 1.0),
+        seed=5,
+    )
+    a = ReplayHarness(make_replay_config(2)).run(trace, record_outcomes=True)
+    b = ReplayHarness(make_replay_config(2)).run(trace, record_outcomes=False)
+    assert b.outcomes is None
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    assert a.digest() == b.digest()

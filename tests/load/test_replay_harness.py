@@ -1,0 +1,189 @@
+"""Integration tests for the replay harness + autoscaler loop.
+
+Covers the tentpole's acceptance behaviours at small scale: a bursty
+zipfian replay drives at least one grow *and* one shrink, every resize
+passes ``verify_placement()``, the whole run is bit-identical across
+invocations (digest equality), artifacts render through ``repro
+report``, and the harness survives replay under a shard outage plan.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.load.autoscaler import Autoscaler, AutoscalerConfig
+from repro.load.replay import (
+    CongestionLatency,
+    ReplayConfig,
+    ReplayHarness,
+    write_load_artifacts,
+)
+from repro.load.slo import LatencyStats, SloPolicy, nearest_rank
+from repro.load.traces import BurstyArrivals, TraceConfig, make_trace
+from repro.obs import MetricsRegistry, Observer
+from repro.obs.report import LOAD_FILE, render_report
+from repro.resilience.faults import FaultPlan, OutageWindow
+
+pytestmark = pytest.mark.load
+
+
+def bursty_trace(n=20000, seed=7):
+    return make_trace(
+        TraceConfig(n_requests=n, n_keys=500, zipf_exponent=1.1,
+                    put_fraction=0.05),
+        BurstyArrivals(rate_low=300.0, rate_high=7000.0,
+                       mean_on_s=1.5, mean_off_s=3.0),
+        seed=seed,
+    )
+
+
+def harness(autoscale=True, **kwargs):
+    cfg = ReplayConfig(
+        total_capacity=256, imp_ratio=0.8, n_shards=2, window_requests=500,
+        slo=SloPolicy(target_s=0.02), service_rate_per_shard=2000.0,
+    )
+    auto = Autoscaler(AutoscalerConfig(min_shards=1, max_shards=8)) \
+        if autoscale else None
+    return ReplayHarness(cfg, autoscaler=auto, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# the headline behaviour
+# ----------------------------------------------------------------------
+def test_bursty_replay_grows_and_shrinks_with_verified_resizes():
+    result = harness().run(bursty_trace())
+    assert result.grows >= 1
+    assert result.shrinks >= 1
+    # Every completed migration re-ran the placement oracle.
+    assert result.resizes_verified == len(result.decisions)
+    assert result.moved_keys > 0
+    # The harness itself never degrades the tier.
+    assert result.cache["dropped_admits"] == 0
+    assert result.cache["degraded_lookups"] == 0
+    assert result.n_requests == 20000
+    assert len(result.windows) == 40
+
+
+def test_run_is_bit_identical_across_invocations():
+    a = harness().run(bursty_trace())
+    b = harness().run(bursty_trace())
+    assert a.digest() == b.digest()
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    assert [d.as_dict() for d in a.decisions] == \
+        [d.as_dict() for d in b.decisions]
+    assert json.dumps(a.summary(), sort_keys=True) == \
+        json.dumps(b.summary(), sort_keys=True)
+
+
+def test_congestion_makes_scaling_matter():
+    """With the fleet pinned at 1 shard the burst windows run hotter than
+    the autoscaled run — the latency/shard-count feedback is real."""
+    fixed = ReplayHarness(ReplayConfig(
+        total_capacity=256, n_shards=1, window_requests=400,
+        slo=SloPolicy(target_s=0.02),
+    ))
+    scaled = harness()
+    trace = bursty_trace()
+    r_fixed = fixed.run(trace)
+    r_scaled = scaled.run(bursty_trace())
+    assert r_scaled.overall.p99_s < r_fixed.overall.p99_s
+    assert r_scaled.attainment >= r_fixed.attainment
+
+
+# ----------------------------------------------------------------------
+# observer + artifacts
+# ----------------------------------------------------------------------
+def test_observer_hooks_fire(tmp_path):
+    registry = MetricsRegistry()
+    obs = Observer(metrics=registry)
+    result = harness(observer=obs).run(bursty_trace())
+    snap = registry.snapshot()
+    assert snap["counters"]["load.windows"] == len(result.windows)
+    assert snap["counters"]["load.requests"] == result.n_requests
+    assert snap["counters"]["autoscale.decisions"] == len(result.decisions)
+    assert snap["counters"]["autoscale.grow"] == result.grows
+    assert snap["counters"]["autoscale.shrink"] == result.shrinks
+    assert snap["gauges"]["autoscale.n_shards"] == \
+        result.decisions[-1].new_n
+
+
+def test_artifacts_and_report_round_trip(tmp_path):
+    result = harness().run(bursty_trace())
+    path = write_load_artifacts(result, tmp_path)
+    assert path.name == LOAD_FILE
+    doc = json.loads(path.read_text())
+    assert doc["digest"] == result.digest()
+    assert doc["requests"] == result.n_requests
+    text = render_report(tmp_path)
+    assert "load / SLO:" in text
+    assert "p99=" in text and "p999=" in text
+    assert "autoscaler:" in text
+    assert f"{result.grows} grow(s), {result.shrinks} shrink(s)" in text
+
+
+def test_report_renders_alongside_epochs_artifacts(tmp_path):
+    """A dir holding both training and load artifacts shows both."""
+    (tmp_path / "epochs.jsonl").write_text(json.dumps({
+        "policy": "spidercache", "model": "m", "dataset": "d",
+        "epoch": 0, "val_accuracy": 0.5, "hit_ratio": 0.5,
+        "exact_hit_ratio": 0.5, "substitute_ratio": 0.0,
+        "data_load_s": 1.0, "compute_s": 1.0, "is_visible_s": 0.0,
+        "preprocess_s": 0.0, "epoch_time_s": 2.0, "imp_ratio": 0.8,
+    }) + "\n")
+    write_load_artifacts(harness().run(bursty_trace(n=2000)), tmp_path)
+    text = render_report(tmp_path)
+    assert "epoch" in text
+    assert "load / SLO:" in text
+
+
+# ----------------------------------------------------------------------
+# faults during replay
+# ----------------------------------------------------------------------
+def test_replay_survives_shard_outage():
+    """An outage mid-replay degrades service but the run completes, and
+    the tail drain still verifies placement."""
+    plans = {0: FaultPlan([OutageWindow(start_s=0.5, end_s=1.5)])}
+    h = harness(fault_plans=plans)
+    result = h.run(bursty_trace(n=4000))
+    assert result.n_requests == 4000
+    assert h.client.verify_placement() == []
+    # The outage shows up as degraded service, not as a crash.
+    assert (result.cache["dropped_admits"] + result.cache["degraded_lookups"]
+            + result.cache["rpc_retries"]) > 0
+
+
+# ----------------------------------------------------------------------
+# config + stats units
+# ----------------------------------------------------------------------
+def test_replay_config_validation():
+    with pytest.raises(ValueError):
+        ReplayConfig(total_capacity=0)
+    with pytest.raises(ValueError):
+        ReplayConfig(total_capacity=10, imp_ratio=1.5)
+    with pytest.raises(ValueError):
+        ReplayConfig(total_capacity=10, window_requests=0)
+    with pytest.raises(ValueError):
+        ReplayConfig(total_capacity=10, service_rate_per_shard=0.0)
+
+
+def test_congestion_latency_factor():
+    lat = CongestionLatency()
+    base = lat.sample(1000)
+    lat.utilization = 0.5
+    assert lat.sample(1000) == pytest.approx(base * 2.0)
+    lat.utilization = 5.0  # capped at max_utilization=0.9 -> 10x
+    assert lat.sample(1000) == pytest.approx(base * 10.0)
+    with pytest.raises(ValueError):
+        CongestionLatency(max_utilization=1.0)
+
+
+def test_nearest_rank_percentiles_are_exact_order_stats():
+    s = np.sort(np.arange(1, 101, dtype=np.float64))  # 1..100
+    assert nearest_rank(s, 50.0) == 50.0
+    assert nearest_rank(s, 99.0) == 99.0
+    assert nearest_rank(s, 100.0) == 100.0
+    assert nearest_rank(np.array([]), 50.0) == 0.0
+    stats = LatencyStats.from_samples(s)
+    assert stats.p50_s == 50.0 and stats.p99_s == 99.0
+    assert stats.p999_s == 100.0 and stats.max_s == 100.0

@@ -1,0 +1,224 @@
+"""Property suite for the trace generators (ISSUE 8 satellite 1).
+
+Four families of invariants, Hypothesis-driven:
+
+* **determinism** — identical seed ⇒ bit-identical trace (checksum,
+  arrays, and save/load round trip);
+* **monotone skew** — a higher zipf exponent concentrates more mass on
+  the top-K keys, both in the exact theoretical distribution and in
+  sampled traces with a comfortable exponent gap;
+* **rate envelopes** — every arrival process's realized average rate
+  stays inside its configured ``[min_rate, max_rate]`` envelope, and
+  arrivals are nondecreasing from a nonnegative start;
+* **mixer** — merging preserves the total request count, every key, and
+  arrival-time ordering.
+"""
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.load.traces import (
+    BurstyArrivals,
+    ConstantArrivals,
+    DiurnalArrivals,
+    LoadTrace,
+    ModulatedArrivals,
+    TraceConfig,
+    expected_top_k_mass,
+    make_trace,
+    mix_traces,
+    top_k_mass,
+    zipfian_keys,
+)
+
+pytestmark = pytest.mark.load
+
+_seed = st.integers(0, 2**31 - 1)
+_exponent = st.floats(0.0, 2.5, allow_nan=False)
+
+
+def _arrival_strategy():
+    return st.one_of(
+        st.builds(ConstantArrivals, rate=st.floats(10.0, 5000.0)),
+        st.builds(
+            BurstyArrivals,
+            rate_low=st.floats(10.0, 500.0),
+            rate_high=st.floats(500.0, 9000.0),
+            mean_on_s=st.floats(0.05, 3.0),
+            mean_off_s=st.floats(0.05, 3.0),
+        ),
+        st.builds(
+            DiurnalArrivals,
+            base_rate=st.floats(10.0, 5000.0),
+            amplitude=st.floats(0.0, 0.95),
+            period_s=st.floats(0.5, 60.0),
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+@given(seed=_seed, exponent=_exponent, arrivals=_arrival_strategy())
+@settings(max_examples=25, deadline=None)
+def test_same_seed_is_bit_identical(seed, exponent, arrivals):
+    cfg = TraceConfig(n_requests=500, n_keys=64, zipf_exponent=exponent)
+    a = make_trace(cfg, arrivals, seed=seed)
+    b = make_trace(cfg, arrivals, seed=seed)
+    assert a.checksum() == b.checksum()
+    np.testing.assert_array_equal(a.keys, b.keys)
+    np.testing.assert_array_equal(a.ops, b.ops)
+    np.testing.assert_array_equal(a.scores, b.scores)
+    np.testing.assert_array_equal(a.arrival_s, b.arrival_s)
+
+
+@given(seed=_seed)
+@settings(max_examples=25, deadline=None)
+def test_different_seeds_differ(seed):
+    cfg = TraceConfig(n_requests=400, n_keys=64)
+    arr = ConstantArrivals(rate=1000.0)
+    a = make_trace(cfg, arr, seed=seed)
+    b = make_trace(cfg, arr, seed=seed + 1)
+    assert a.checksum() != b.checksum()
+
+
+@given(seed=_seed)
+@settings(max_examples=10, deadline=None)
+def test_save_load_round_trip(seed):
+    import tempfile
+    from pathlib import Path
+
+    cfg = TraceConfig(n_requests=300, n_keys=32, put_fraction=0.1)
+    trace = make_trace(
+        cfg, BurstyArrivals(100.0, 2000.0, 0.5, 0.5), seed=seed
+    )
+    with tempfile.TemporaryDirectory() as d:
+        path = trace.save(Path(d) / "t.npz")
+        back = LoadTrace.load(path)
+    assert back.checksum() == trace.checksum()
+    assert back.meta == trace.meta
+    assert back.n_keys == trace.n_keys
+
+
+# ----------------------------------------------------------------------
+# monotone skew
+# ----------------------------------------------------------------------
+@given(
+    lo=st.floats(0.0, 1.5, allow_nan=False),
+    gap=st.floats(0.1, 1.5, allow_nan=False),
+    k=st.integers(1, 16),
+)
+@settings(max_examples=50, deadline=None)
+def test_theoretical_top_k_mass_is_monotone_in_exponent(lo, gap, k):
+    """Exact distribution check: strictly more top-K mass at higher skew."""
+    n_keys = 128
+    low = expected_top_k_mass(n_keys, lo, k)
+    high = expected_top_k_mass(n_keys, lo + gap, k)
+    assert high > low or (k >= n_keys and high == low)
+
+
+@given(seed=_seed, lo=st.floats(0.0, 1.0), gap=st.floats(0.5, 1.5))
+@settings(max_examples=25, deadline=None)
+def test_sampled_top_k_mass_grows_with_exponent(seed, lo, gap):
+    """Empirical check with a comfortable exponent gap and sample size."""
+    n, n_keys, k = 4000, 64, 8
+    rng_a = np.random.default_rng(seed)
+    rng_b = np.random.default_rng(seed)
+    mass_lo = top_k_mass(zipfian_keys(n, n_keys, lo, rng_a), k)
+    mass_hi = top_k_mass(zipfian_keys(n, n_keys, lo + gap, rng_b), k)
+    assert mass_hi > mass_lo - 0.02  # small sampling-noise allowance
+
+
+def test_uniform_exponent_zero_is_flat():
+    keys = zipfian_keys(20000, 16, 0.0, np.random.default_rng(0))
+    counts = np.bincount(keys, minlength=16)
+    assert counts.min() > 0.7 * counts.max()
+
+
+# ----------------------------------------------------------------------
+# rate envelopes
+# ----------------------------------------------------------------------
+@given(seed=_seed, arrivals=_arrival_strategy())
+@settings(max_examples=50, deadline=None)
+def test_arrivals_respect_rate_envelope(seed, arrivals):
+    """Average realized rate over the whole trace must sit inside the
+    configured envelope (with Poisson sampling slack)."""
+    n = 2000
+    times = arrivals.sample_arrivals(n, np.random.default_rng(seed))
+    assert len(times) == n
+    assert times[0] >= 0.0
+    assert np.all(np.diff(times) >= 0.0)
+    duration = float(times[-1] - times[0])
+    if duration > 0:
+        realized = (n - 1) / duration
+        assert realized >= arrivals.min_rate * 0.5
+        assert realized <= arrivals.max_rate * 1.5
+
+
+@given(seed=_seed, amplitude=st.floats(0.0, 0.9))
+@settings(max_examples=25, deadline=None)
+def test_modulated_envelope_brackets_base(seed, amplitude):
+    base = BurstyArrivals(100.0, 1000.0, 0.5, 0.5)
+    mod = ModulatedArrivals(base, amplitude=amplitude, period_s=10.0)
+    assert mod.min_rate == pytest.approx(base.min_rate * (1 - amplitude))
+    assert mod.max_rate == pytest.approx(base.max_rate * (1 + amplitude))
+    times = mod.sample_arrivals(1000, np.random.default_rng(seed))
+    assert np.all(np.diff(times) >= 0.0)
+
+
+def test_constant_arrivals_hit_configured_rate():
+    times = ConstantArrivals(rate=500.0).sample_arrivals(
+        20000, np.random.default_rng(3)
+    )
+    realized = (len(times) - 1) / float(times[-1] - times[0])
+    assert realized == pytest.approx(500.0, rel=0.05)
+
+
+# ----------------------------------------------------------------------
+# mixer
+# ----------------------------------------------------------------------
+@given(
+    seed=_seed,
+    sizes=st.lists(st.integers(1, 300), min_size=1, max_size=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_mixer_preserves_request_count_and_keys(seed, sizes):
+    traces = [
+        make_trace(
+            TraceConfig(n_requests=sz, n_keys=32),
+            ConstantArrivals(rate=200.0 * (i + 1)),
+            seed=seed + i,
+        )
+        for i, sz in enumerate(sizes)
+    ]
+    mixed = mix_traces(traces)
+    assert len(mixed) == sum(sizes)
+    assert np.all(np.diff(mixed.arrival_s) >= 0.0)
+    want = np.sort(np.concatenate([t.keys for t in traces]))
+    np.testing.assert_array_equal(np.sort(mixed.keys), want)
+
+
+def test_mixer_is_deterministic_and_stable():
+    a = make_trace(
+        TraceConfig(n_requests=100, n_keys=16), ConstantArrivals(100.0), seed=1
+    )
+    b = make_trace(
+        TraceConfig(n_requests=100, n_keys=16), ConstantArrivals(100.0), seed=2
+    )
+    m1 = mix_traces([a, b])
+    m2 = mix_traces([a, b])
+    assert m1.checksum() == m2.checksum()
+    # Same-timestamp ties resolve by input order, so swapping the inputs
+    # of two identical traces still yields a well-formed merge.
+    m3 = mix_traces([b, a])
+    assert len(m3) == len(m1)
+
+
+def test_mixer_rejects_all_empty():
+    with pytest.raises(ValueError):
+        mix_traces([])

@@ -80,3 +80,71 @@ def test_train_with_trace_dir_and_report(tmp_path, capsys):
 def test_report_missing_dir(tmp_path, capsys):
     assert main(["report", str(tmp_path / "nothing")]) == 2
     assert "not found" in capsys.readouterr().err
+
+
+# -- repro load ---------------------------------------------------------
+LOAD_FAST = ["load", "--requests", "4000", "--keys", "300",
+             "--capacity", "128", "--window", "400"]
+
+
+def test_load_command_smoke(capsys):
+    assert main(LOAD_FAST) == 0
+    out = capsys.readouterr().out
+    assert "p50" in out and "p99" in out and "p999" in out
+    assert "SLO:" in out
+    assert "autoscaler:" in out
+    assert "digest:" in out
+
+
+def test_load_command_is_deterministic(capsys):
+    assert main(LOAD_FAST + ["--seed", "5"]) == 0
+    first = capsys.readouterr().out
+    assert main(LOAD_FAST + ["--seed", "5"]) == 0
+    second = capsys.readouterr().out
+    assert first == second
+
+
+def test_load_no_autoscale_keeps_fleet_fixed(capsys):
+    assert main(LOAD_FAST + ["--no-autoscale", "--shards", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "0 grow(s), 0 shrink(s); shards 3 -> 3" in out
+
+
+def test_load_with_trace_dir_and_report(tmp_path, capsys):
+    run_dir = tmp_path / "load-run"
+    assert main(LOAD_FAST + ["--trace-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    assert (run_dir / "load.json").is_file()
+    assert (run_dir / "trace.jsonl").is_file()
+    assert main(["report", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "load / SLO:" in out
+    assert "p99=" in out
+
+
+@pytest.mark.parametrize(
+    "flags,message",
+    [
+        (["--requests", "0"], "--requests"),
+        (["--keys", "4"], "--keys"),
+        (["--zipf-skew", "-0.5"], "--zipf-skew"),
+        (["--put-fraction", "1.5"], "--put-fraction"),
+        (["--base-rate", "0"], "--base-rate"),
+        (["--burst-rate", "-10"], "--burst-rate"),
+        (["--mean-on-s", "0"], "--mean-on-s"),
+        (["--diurnal-amplitude", "1.0"], "--diurnal-amplitude"),
+        (["--slo-ms", "0"], "--slo-ms"),
+        (["--slo-goal", "0"], "--slo-goal"),
+        (["--slo-goal", "1.2"], "--slo-goal"),
+        (["--service-rate", "0"], "--service-rate"),
+        (["--imp-ratio", "2.0"], "--imp-ratio"),
+        (["--min-shards", "4", "--max-shards", "2"], "--min-shards"),
+        (["--p99-high-ms", "2", "--p99-low-ms", "3"], "hysteresis"),
+        (["--util-high", "0.2", "--util-low", "0.3"], "hysteresis"),
+        (["--breach-windows", "0"], "--breach-windows"),
+        (["--growth-factor", "1.0"], "--growth-factor"),
+    ],
+)
+def test_load_rejects_bad_flags(flags, message, capsys):
+    assert main(["load"] + flags) == 2
+    assert message in capsys.readouterr().err
