@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-csv bench-trajectory examples smoke faults concurrency dist load report all
+.PHONY: install test coverage bench bench-csv bench-trajectory bench-tracing examples smoke faults concurrency dist load report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -28,6 +28,12 @@ bench:
 # baseline forward; see EXPERIMENTS.md "Performance trajectory".
 bench-trajectory:
 	$(PYTHON) -m repro bench --check
+
+# Tracing-overhead soft gate: full observability (JSONL + spans) vs
+# NULL_OBSERVER on the same seeded run. Warns past the 3x budget, never
+# fails; `--write` refreshes the committed benchmarks/BENCH_TRACING.json.
+bench-tracing:
+	$(PYTHON) benchmarks/tracing_overhead.py --write
 
 # Same benches, also dumping every table as CSV into results/.
 bench-csv:
@@ -62,13 +68,14 @@ dist:
 		--resize-shards-at 1:4
 
 # Load-harness suite (-m load: trace properties, replay differential,
-# autoscaler, golden report) under the increased Hypothesis budget, plus
-# a small autoscaled replay smoke tuned to exercise one grow and one
-# shrink (the golden-fixture recipe; see tests/load/).
+# autoscaler, burn-rate alerts, golden report) under the increased
+# Hypothesis budget, plus a small autoscaled replay smoke tuned to
+# exercise one grow and one shrink, with an SLO tight enough to fire the
+# burn-rate alerts (the golden-fixture recipe; see tests/load/).
 load:
 	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -m load
 	$(PYTHON) -m repro load --requests 6000 --keys 400 --capacity 200 \
-		--window 300 --base-rate 300 --seed 7
+		--window 300 --base-rate 300 --slo-ms 2 --seed 7
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

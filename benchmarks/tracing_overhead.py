@@ -1,0 +1,134 @@
+"""Tracing-overhead benchmark: full observability vs ``NULL_OBSERVER``.
+
+Runs the same seeded training workload three ways —
+
+* ``off``     — ``NULL_OBSERVER`` (the default for library users);
+* ``metrics`` — active observer, metrics only (``NullRecorder``);
+* ``traced``  — active observer + JSONL recorder + span tracing
+  (what ``repro train --trace-dir`` wires up);
+
+— and reports wall-clock ratios against ``off``. The interesting number
+is the *fully traced* ratio: every fetch/admit/span event is built,
+serialized, and written per sample, so this bounds the real cost of
+``--trace-dir`` on a run.
+
+Budget: the traced run must stay within ``--budget`` (default 3.0x) of
+the untraced one. Exceeding it prints a ``WARNING`` line and, by
+default, still exits 0 — this is a soft gate, same contract as the
+perf-trajectory check (``--strict`` turns the warning into exit 1 for
+local bisecting). Results land in ``BENCH_TRACING.json`` next to this
+script when ``--write`` is given; the committed copy is the recorded
+baseline, refreshed via ``make bench-tracing``.
+
+Wall-clock on shared CI runners is noisy — the budget is deliberately
+loose, catching "tracing suddenly costs 10x" regressions, not 10%
+drifts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.policy import SpiderCachePolicy
+from repro.data.synthetic import make_clustered_dataset, train_test_split
+from repro.nn.models import build_model
+from repro.obs import JsonlRecorder, MetricsRegistry, Observer
+from repro.train.trainer import Trainer, TrainerConfig
+
+BASELINE_FILE = Path(__file__).with_name("BENCH_TRACING.json")
+
+
+def _run_once(samples: int, epochs: int, observer: Observer | None) -> float:
+    """One seeded training run; returns host wall-clock seconds."""
+    ds = make_clustered_dataset(samples, n_classes=4, dim=16, rng=0)
+    train, test = train_test_split(ds, test_fraction=0.25, rng=1)
+    model = build_model("resnet18", train.dim, train.num_classes, rng=2)
+    trainer = Trainer(
+        model, train, test,
+        SpiderCachePolicy(cache_fraction=0.3, rng=3),
+        TrainerConfig(epochs=epochs, batch_size=64),
+        observer=observer,
+    )
+    t0 = time.perf_counter()
+    trainer.run()
+    return time.perf_counter() - t0
+
+
+def measure(samples: int, epochs: int, repeats: int) -> dict:
+    """Best-of-``repeats`` wall clock for each observer mode."""
+    modes: dict[str, float] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in ("off", "metrics", "traced"):
+            best = float("inf")
+            for rep in range(repeats):
+                if name == "off":
+                    obs = None  # Trainer defaults to NULL_OBSERVER
+                elif name == "metrics":
+                    obs = Observer(metrics=MetricsRegistry())
+                else:
+                    obs = Observer(
+                        recorder=JsonlRecorder(
+                            Path(tmp) / f"trace-{rep}.jsonl"
+                        ),
+                        metrics=MetricsRegistry(),
+                        span_seed=7,
+                    )
+                elapsed = _run_once(samples, epochs, obs)
+                if obs is not None:
+                    obs.close()
+                best = min(best, elapsed)
+            modes[name] = best
+    return modes
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--samples", type=int, default=600)
+    ap.add_argument("--epochs", type=int, default=2)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="runs per mode; best-of wins (default 3)")
+    ap.add_argument("--budget", type=float, default=3.0,
+                    help="max traced/off wall-clock ratio (default 3.0)")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 when the budget is exceeded")
+    ap.add_argument("--write", action="store_true",
+                    help=f"record results to {BASELINE_FILE.name}")
+    args = ap.parse_args(argv)
+
+    modes = measure(args.samples, args.epochs, args.repeats)
+    off = modes["off"]
+    print(f"tracing overhead ({args.samples} samples x {args.epochs} epochs, "
+          f"best of {args.repeats}):")
+    for name, secs in modes.items():
+        ratio = secs / off if off > 0 else float("inf")
+        print(f"  {name:<8} {secs * 1e3:8.1f} ms   {ratio:5.2f}x")
+
+    traced_ratio = modes["traced"] / off if off > 0 else float("inf")
+    ok = traced_ratio <= args.budget
+    if not ok:
+        print(f"WARNING: traced run is {traced_ratio:.2f}x the untraced one "
+              f"(budget {args.budget:.1f}x)")
+    else:
+        print(f"within budget: {traced_ratio:.2f}x <= {args.budget:.1f}x")
+
+    if args.write:
+        BASELINE_FILE.write_text(json.dumps({
+            "samples": args.samples,
+            "epochs": args.epochs,
+            "repeats": args.repeats,
+            "budget": args.budget,
+            "wall_s": modes,
+            "traced_ratio": round(traced_ratio, 3),
+        }, indent=2) + "\n")
+        print(f"wrote {BASELINE_FILE}")
+
+    return 1 if (args.strict and not ok) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

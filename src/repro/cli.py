@@ -133,6 +133,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "run_dir", help="directory written by `repro train --trace-dir`"
     )
 
+    metrics_p = sub.add_parser(
+        "metrics",
+        help="export a run directory's metrics snapshot as Prometheus "
+             "text-format exposition",
+    )
+    metrics_p.add_argument(
+        "run_dir",
+        help="directory written by `repro train --trace-dir` or "
+             "`repro load --trace-dir`",
+    )
+    metrics_p.add_argument(
+        "--prefix", default="repro_",
+        help="metric-name prefix (default: repro_)",
+    )
+
     cmp_p = sub.add_parser("compare", help="run several policies")
     cmp_p.add_argument("--policies", nargs="+", default=
                        ["spidercache", "shade", "icache", "coordl", "baseline"],
@@ -410,9 +425,14 @@ def _cmd_train(args) -> int:
 
         out = Path(args.trace_dir)
         out.mkdir(parents=True, exist_ok=True)
+        # Fresh run: drop any stale journal (the recorder appends so a
+        # checkpoint-resumed run can extend it; a new run must not).
+        (out / TRACE_FILE).unlink(missing_ok=True)
         recorder = JsonlRecorder(out / TRACE_FILE)
         registry = MetricsRegistry()
-        observer = Observer(recorder=recorder, metrics=registry)
+        observer = Observer(
+            recorder=recorder, metrics=registry, span_seed=args.seed
+        )
     if args.world_size > 1:
         trainer = _make_dp_run(args, args.policy, observer=observer)
     else:
@@ -461,6 +481,32 @@ def _cmd_report(args) -> int:
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import render_prometheus
+    from repro.obs.report import LOAD_FILE, SUMMARY_FILE
+
+    run_dir = Path(args.run_dir)
+    snapshot = None
+    for name in (SUMMARY_FILE, LOAD_FILE):
+        path = run_dir / name
+        if path.is_file():
+            snapshot = json.loads(path.read_text()).get("metrics")
+            if snapshot is not None:
+                break
+    if snapshot is None:
+        print(
+            f"no metrics snapshot found under {run_dir}/ — run "
+            "`repro train --trace-dir` or `repro load --trace-dir` first",
+            file=sys.stderr,
+        )
+        return 2
+    sys.stdout.write(render_prometheus(snapshot, prefix=args.prefix))
     return 0
 
 
@@ -667,6 +713,7 @@ def _cmd_load(args) -> int:
 
     observer = None
     recorder = None
+    registry = None
     if args.trace_dir is not None:
         from pathlib import Path
 
@@ -675,8 +722,12 @@ def _cmd_load(args) -> int:
 
         out = Path(args.trace_dir)
         out.mkdir(parents=True, exist_ok=True)
+        (out / TRACE_FILE).unlink(missing_ok=True)
         recorder = JsonlRecorder(out / TRACE_FILE)
-        observer = Observer(recorder=recorder, metrics=MetricsRegistry())
+        registry = MetricsRegistry()
+        observer = Observer(
+            recorder=recorder, metrics=registry, span_seed=args.seed
+        )
 
     autoscaler = None
     if not args.no_autoscale:
@@ -726,9 +777,24 @@ def _cmd_load(args) -> int:
     for d in result.decisions:
         print(f"  window {d.window:>4}: {d.action:<6} {d.old_n} -> {d.new_n}"
               f"  ({d.reason})")
+    alerts = result.alerts
+    firing = alerts.get("firing", [])
+    events = alerts.get("events", [])
+    status = "FIRING: " + ", ".join(firing) if firing else "none firing"
+    print(f"burn-rate alerts: {status} "
+          f"({len(events)} transition(s))")
+    for ev in events:
+        print(f"  window {ev['window']:>4}: {ev['rule']:<5} "
+              f"{ev['state']:<9} burn short={ev['burn_short']:.2f}x "
+              f"long={ev['burn_long']:.2f}x (thr {ev['threshold']:g}x)")
     print(f"digest: {result.digest()}")
     if args.trace_dir is not None:
-        write_load_artifacts(result, args.trace_dir)
+        write_load_artifacts(
+            result, args.trace_dir,
+            metrics_snapshot=(
+                registry.snapshot() if registry is not None else None
+            ),
+        )
         print(f"run artifacts written to {args.trace_dir}/ "
               f"(view with `repro report {args.trace_dir}`)")
     return 0
@@ -793,6 +859,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "load": _cmd_load,
         "faults": _cmd_faults,
         "report": _cmd_report,
+        "metrics": _cmd_metrics,
         "bench": _cmd_bench,
     }[args.command](args)
 

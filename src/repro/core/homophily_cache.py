@@ -86,6 +86,11 @@ class HomophilyCache:
             for key in reversed(self._entries):
                 if key in covers:
                     self.stats.substitute_hits += 1
+                    if self._obs.active:
+                        self._obs.on_audit(
+                            "substitute", key, "homophily",
+                            requested_id=index, reason="neighbor_cover",
+                        )
                     return key, self._entries[key][0]
             raise AssertionError("neighbor map out of sync with entries")
 

@@ -96,8 +96,13 @@ class ImportanceCache:
             if score <= self._heap.min_priority():
                 if obs.active:
                     obs.on_admit(key, score, False, None)
+                    obs.on_audit(
+                        "drop", key, "importance", score=score,
+                        threshold=self._heap.min_priority(),
+                        reason="below_min_score",
+                    )
                 return False
-            _, evicted = self._heap.pop()
+            ev_score, evicted = self._heap.pop()
             del self._values[evicted]
             self.stats.evictions += 1
             self._heap.push(key, score)
@@ -105,6 +110,10 @@ class ImportanceCache:
             self.stats.insertions += 1
             if obs.active:
                 obs.on_admit(key, score, True, evicted)
+                obs.on_audit(
+                    "evict", evicted, "importance", score=ev_score,
+                    threshold=score, requested_id=key, reason="displaced",
+                )
             return True
 
     def update_score(self, key: int, score: float) -> None:

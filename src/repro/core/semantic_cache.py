@@ -280,6 +280,10 @@ class SemanticCache:
             if obs.active:
                 obs.on_degraded(index, key)
                 obs.on_fetch(index, key, FetchSource.DEGRADED)
+                obs.on_audit(
+                    "substitute", key, "homophily",
+                    requested_id=index, reason="degraded",
+                )
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         resident = self.importance.peek_min()
         if resident is not None:
@@ -290,6 +294,11 @@ class SemanticCache:
             if obs.active:
                 obs.on_degraded(index, key)
                 obs.on_fetch(index, key, FetchSource.DEGRADED)
+                obs.on_audit(
+                    "substitute", key, "importance",
+                    score=self.importance.min_score(),
+                    requested_id=index, reason="degraded",
+                )
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         with self._stats_lock:
             self.stats.misses += 1

@@ -154,12 +154,18 @@ class PrefetchingDataLoader(DataLoader):
         obs = self._obs
         for start in range(0, len(durations), self.workers):
             window = durations[start : start + self.workers]
+            t0 = self.clock.total_seconds if obs.active else 0.0
             charged = self.clock.advance_parallel(self.stage, window)
             saved = sum(window) - charged
             self.overlap_saved_s += saved
             self.windows_committed += 1
             if obs.active:
                 obs.on_prefetch_window(len(window), sum(window), charged)
+                if charged > 0:
+                    obs.span_record(
+                        "prefetch_window", t0, t0 + charged,
+                        fetches=len(window), saved_s=saved,
+                    )
 
     # ------------------------------------------------------------------
     def drain(self) -> None:

@@ -267,8 +267,8 @@ class ShardedCacheClient:
         """Publish RPC, breaker, and cache activity to ``observer``."""
         self._obs = observer
         self._channel.attach_observer(observer)
-        for breaker in self._breakers.values():
-            breaker.attach_observer(observer)
+        for sid, breaker in self._breakers.items():
+            breaker.attach_observer(observer, label=f"shard{sid}")
 
     @property
     def channel(self) -> SimRpcChannel:
@@ -318,14 +318,27 @@ class ShardedCacheClient:
         shard = int(shard)
         breaker = self._breakers[shard]
         clock = self.clock
+        obs = self._obs
         request_id = self._rpc_seq
         self._rpc_seq += 1
+        span = (
+            obs.span_start(
+                "rpc", clock.total_seconds, shard=shard, method=method,
+                breaker=breaker.state.value,
+            )
+            if obs.active else None
+        )
         last: Optional[RpcError] = None
         for attempt in range(self.retry.max_attempts):
             now = clock.total_seconds
             if not breaker.allow(now):
                 breaker.fast_failures += 1
                 self._shard_stats[shard]["rpc_fast_failures"] += 1
+                if span is not None:
+                    obs.span_end(
+                        span, now, ok=False, error="circuit_open",
+                        attempts=attempt,
+                    )
                 raise CircuitOpenError(
                     f"shard {shard} circuit open at t={now:.3f}s; "
                     f"rejecting {method}"
@@ -338,15 +351,30 @@ class ShardedCacheClient:
                 if attempt + 1 < self.retry.max_attempts:
                     self.rpc_retries += 1
                     self._shard_stats[shard]["rpc_retries"] += 1
+                    t0 = clock.total_seconds
                     clock.advance(
                         self._channel.STAGE,
                         self.retry.backoff_s(request_id, attempt),
                     )
+                    if obs.active:
+                        obs.span_record(
+                            "backoff", t0, clock.total_seconds,
+                            shard=shard, attempt=attempt,
+                        )
                 continue
             breaker.record_success(clock.total_seconds)
+            if span is not None:
+                obs.span_end(
+                    span, clock.total_seconds, ok=True, attempts=attempt + 1,
+                )
             if self._pending_deletes.get(shard):
                 self._flush_pending(shard)
             return result
+        if span is not None:
+            obs.span_end(
+                span, clock.total_seconds, ok=False,
+                error="retry_exhausted", attempts=self.retry.max_attempts,
+            )
         raise RetryBudgetExhausted(shard, method, self.retry.max_attempts, last)
 
     def _best_effort_delete(self, shard: int, layer: str, key: int) -> None:
@@ -391,10 +419,22 @@ class ShardedCacheClient:
         self._pending_deletes[shard] = []
         if not live:
             return
+        obs = self._obs
+        span = (
+            obs.span_start(
+                "anti_entropy", self.clock.total_seconds,
+                shard=int(shard), n=len(live),
+            )
+            if obs.active else None
+        )
+        repaired = True
         try:
             self._channel.call(shard, "bulk_delete", live)
         except _ATTEMPT_ERRORS:
+            repaired = False
             self._pending_deletes[shard] = live + self._pending_deletes[shard]
+        if span is not None:
+            obs.span_end(span, self.clock.total_seconds, ok=repaired)
 
     # ------------------------------------------------------------------
     # fetch protocol (Fig. 9, identical decisions to the monolith)
@@ -409,8 +449,40 @@ class ShardedCacheClient:
 
         Decision-identical to :meth:`SemanticCache.fetch` in fault-free
         runs; under faults, unreachable payloads degrade each stage to a
-        miss and the next stage takes over.
+        miss and the next stage takes over. With span tracing enabled
+        the whole request runs inside a ``fetch`` span — every RPC
+        attempt, backoff, breaker rejection, and repair it causes hangs
+        off that span in the trace.
         """
+        obs = self._obs
+        span = (
+            obs.span_start(
+                "fetch", self.clock.total_seconds, requested_id=int(index)
+            )
+            if obs.active else None
+        )
+        if span is None:
+            return self._fetch_protocol(index, score, remote_get)
+        try:
+            out = self._fetch_protocol(index, score, remote_get)
+        except BaseException as exc:
+            obs.span_end(
+                span, self.clock.total_seconds, error=type(exc).__name__
+            )
+            raise
+        obs.span_end(
+            span, self.clock.total_seconds,
+            served_id=out.served_id, source=out.source.value,
+        )
+        return out
+
+    def _fetch_protocol(
+        self,
+        index: int,
+        score: float,
+        remote_get: Callable[[int], Any],
+    ) -> FetchOutcome:
+        """The Fig. 9 decision chain (importance -> homophily -> remote)."""
         obs = self._obs
         index = int(index)
         payload = self._importance_get(index)
@@ -510,6 +582,11 @@ class ShardedCacheClient:
                     hstats.misses += 1
                     return None
                 hstats.substitute_hits += 1
+                if self._obs.active:
+                    self._obs.on_audit(
+                        "substitute", key, "homophily",
+                        requested_id=index, reason="neighbor_cover",
+                    )
                 return key, payload
         raise AssertionError("neighbor map out of sync with entries")
 
@@ -545,11 +622,16 @@ class ShardedCacheClient:
         if score <= self._heap.min_priority():
             if obs.active:
                 obs.on_admit(key, score, False, None)
+                obs.on_audit(
+                    "drop", key, "importance", score=score,
+                    threshold=self._heap.min_priority(),
+                    reason="below_min_score",
+                )
             return False
         shard = self._placement_ring().shard_for(key)
         if not self._shard_put(shard, "imp_put", key, value):
             return False
-        _, evicted = self._heap.pop()
+        ev_score, evicted = self._heap.pop()
         ev_shard = self._imp_loc.pop(evicted)
         imp.stats.evictions += 1
         self._best_effort_delete(ev_shard, "imp", evicted)
@@ -558,6 +640,10 @@ class ShardedCacheClient:
         imp.stats.insertions += 1
         if obs.active:
             obs.on_admit(key, score, True, evicted)
+            obs.on_audit(
+                "evict", evicted, "importance", score=ev_score,
+                threshold=score, requested_id=key, reason="displaced",
+            )
         return True
 
     def _shard_put(self, shard: int, method: str, key: int, value: Any) -> bool:
@@ -574,6 +660,12 @@ class ShardedCacheClient:
             self._shard_stats[shard]["dropped_admits"] += 1
             layer = "imp" if method.startswith("imp") else "hom"
             self._pending_deletes.setdefault(shard, []).append((layer, key))
+            if self._obs.active:
+                self._obs.on_audit(
+                    "drop", key,
+                    "importance" if layer == "imp" else "homophily",
+                    reason="rpc_failed",
+                )
             return False
         return True
 
@@ -581,6 +673,19 @@ class ShardedCacheClient:
         self, node_key: int, payload: Any, neighbor_ids: List[int]
     ) -> bool:
         """Per-batch Homophily Cache refresh (FIFO), payload-put-first."""
+        obs = self._obs
+        span = (
+            obs.span_start("put", self.clock.total_seconds, key=int(node_key))
+            if obs.active else None
+        )
+        ok = self._update_homophily_inner(node_key, payload, neighbor_ids)
+        if span is not None:
+            obs.span_end(span, self.clock.total_seconds, ok=ok)
+        return ok
+
+    def _update_homophily_inner(
+        self, node_key: int, payload: Any, neighbor_ids: List[int]
+    ) -> bool:
         hom = self.homophily
         if hom.capacity == 0:
             return False
@@ -702,9 +807,13 @@ class ShardedCacheClient:
             if obs.active:
                 obs.on_degraded(index, key)
                 obs.on_fetch(index, key, FetchSource.DEGRADED)
+                obs.on_audit(
+                    "substitute", key, "homophily",
+                    requested_id=index, reason="degraded",
+                )
             return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         if len(self._heap):
-            _, key = self._heap.peek()
+            min_score, key = self._heap.peek()
             payload = self._neutral_read("imp", key)
             if payload is not None:
                 self.stats.degraded_serves += 1
@@ -712,6 +821,10 @@ class ShardedCacheClient:
                 if obs.active:
                     obs.on_degraded(index, key)
                     obs.on_fetch(index, key, FetchSource.DEGRADED)
+                    obs.on_audit(
+                        "substitute", key, "importance", score=min_score,
+                        requested_id=index, reason="degraded",
+                    )
                 return FetchOutcome(index, key, payload, FetchSource.DEGRADED)
         self.stats.misses += 1
         self.degraded.skipped += 1
@@ -760,7 +873,7 @@ class ShardedCacheClient:
         for sid in range(old_n, new_n):
             self._servers[sid] = CacheShardServer(sid)
             breaker = CircuitBreaker(**self._breaker_kwargs)
-            breaker.attach_observer(self._obs)
+            breaker.attach_observer(self._obs, label=f"shard{sid}")
             self._breakers[sid] = breaker
         state = plan_migration(
             old_n,
@@ -793,6 +906,15 @@ class ShardedCacheClient:
         budget = len(state.pending)
         if max_batches is not None:
             budget = min(budget, int(max_batches))
+        obs = self._obs
+        span = (
+            obs.span_start(
+                "migration_drain", self.clock.total_seconds,
+                pending=len(state.pending),
+            )
+            if obs.active and budget > 0 else None
+        )
+        moved_before = state.moved_keys
         while state.pending and budget > 0:
             budget -= 1
             batch = state.pending[0]
@@ -833,6 +955,12 @@ class ShardedCacheClient:
                     self._pending_deletes.setdefault(batch.src, []).extend(
                         (batch.layer, k) for k in entries
                     )
+        if span is not None:
+            obs.span_end(
+                span, self.clock.total_seconds,
+                moved=state.moved_keys - moved_before,
+                remaining=len(state.pending),
+            )
         if state.done:
             self._finalize_migration(state)
         return state

@@ -153,6 +153,10 @@ class SimRpcChannel:
                 if self._obs.active:
                     self._obs.on_rpc(shard, method, charged, ok=False,
                                      error="outage")
+                    self._obs.span_record(
+                        "rpc_attempt", now, now + charged,
+                        shard=shard, method=method, ok=False, error="outage",
+                    )
                 raise ShardOutageError(
                     shard, method, f"outage at t={now:.3f}s"
                 )
@@ -168,6 +172,10 @@ class SimRpcChannel:
             if self._obs.active:
                 self._obs.on_rpc(shard, method, self.deadline_s, ok=False,
                                  error="timeout")
+                self._obs.span_record(
+                    "rpc_attempt", now, now + self.deadline_s,
+                    shard=shard, method=method, ok=False, error="timeout",
+                )
             raise RpcTimeoutError(
                 shard, method,
                 f"latency {lat * 1e3:.2f}ms exceeded deadline "
@@ -177,4 +185,8 @@ class SimRpcChannel:
         result = getattr(server, method)(*args)
         if self._obs.active:
             self._obs.on_rpc(shard, method, lat)
+            self._obs.span_record(
+                "rpc_attempt", now, now + lat,
+                shard=shard, method=method, ok=True,
+            )
         return result

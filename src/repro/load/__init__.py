@@ -9,6 +9,13 @@ re-checked with the ``verify_placement()`` oracle.
 """
 
 from repro.load.autoscaler import Autoscaler, AutoscalerConfig, ScaleDecision
+from repro.load.burnrate import (
+    DEFAULT_BURN_RULES,
+    AlertEvent,
+    BurnRateEvaluator,
+    BurnRateRule,
+    burn_rate,
+)
 from repro.load.replay import (
     CongestionLatency,
     LoadResult,
@@ -41,6 +48,11 @@ __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
     "ScaleDecision",
+    "AlertEvent",
+    "BurnRateEvaluator",
+    "BurnRateRule",
+    "DEFAULT_BURN_RULES",
+    "burn_rate",
     "CongestionLatency",
     "LoadResult",
     "ReplayConfig",

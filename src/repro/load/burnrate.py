@@ -1,0 +1,189 @@
+"""Multi-window SLO burn-rate alerting over replay windows.
+
+The SRE-workbook alerting strategy: instead of paging on instantaneous
+SLO misses (noisy) or on monthly budget exhaustion (too late), watch how
+fast the error budget *burns*. With an SLO goal ``g`` the error budget
+is ``1 - g``; a window attaining ``a`` burns at rate
+
+    burn = (1 - a) / (1 - g)
+
+(1.0 = exactly on budget; 10.0 = burning ten budgets' worth). A rule
+fires when the burn rate over a *long* lookback **and** a *short*
+confirmation lookback both exceed its threshold — the long window gives
+significance, the short one makes the alert resolve promptly once the
+incident ends. Two default rules give the classic fast/slow pair:
+
+* ``fast`` — short lookbacks, high threshold: page-worthy incidents
+  (an outage torching the budget) within a couple of windows.
+* ``slow`` — long lookbacks, low threshold: sustained degradation that
+  would quietly exhaust the budget over the run.
+
+All lookbacks are measured in replay windows (the harness's batching
+unit) and averages are request-weighted, so partial final windows don't
+skew the rate. Evaluation is pure arithmetic over recorded attainments —
+deterministic, like everything else in the harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "BurnRateRule",
+    "AlertEvent",
+    "BurnRateEvaluator",
+    "DEFAULT_BURN_RULES",
+    "burn_rate",
+]
+
+#: Budget floor guarding division for a goal of exactly 1.0 (any miss
+#: then burns at this huge-but-finite rate instead of dividing by zero).
+_MIN_BUDGET = 1e-9
+
+
+def burn_rate(attainment: float, goal: float) -> float:
+    """Error-budget consumption multiple for one attainment sample."""
+    return (1.0 - float(attainment)) / max(1.0 - float(goal), _MIN_BUDGET)
+
+
+@dataclass(frozen=True)
+class BurnRateRule:
+    """One multi-window burn-rate alert rule.
+
+    Fires when the request-weighted mean burn rate over the last
+    ``long_windows`` *and* the last ``short_windows`` both reach
+    ``threshold``; resolves when the short lookback falls back under.
+    """
+
+    name: str
+    long_windows: int
+    short_windows: int
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.long_windows < 1 or self.short_windows < 1:
+            raise ValueError("lookbacks must be >= 1 window")
+        if self.short_windows > self.long_windows:
+            raise ValueError("short lookback must not exceed the long one")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "name": self.name,
+            "long_windows": self.long_windows,
+            "short_windows": self.short_windows,
+            "threshold": self.threshold,
+        }
+
+
+#: The classic fast/slow pair, scaled to replay windows.
+DEFAULT_BURN_RULES: Tuple[BurnRateRule, ...] = (
+    BurnRateRule("fast", long_windows=4, short_windows=1, threshold=10.0),
+    BurnRateRule("slow", long_windows=12, short_windows=3, threshold=2.0),
+)
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One alert state transition (``firing`` or ``resolved``)."""
+
+    rule: str
+    state: str  # "firing" | "resolved"
+    window: int  # 0-based window index of the transition
+    burn_short: float
+    burn_long: float
+    threshold: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict (keys match the ``load.json`` schema)."""
+        return {
+            "rule": self.rule,
+            "state": self.state,
+            "window": self.window,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "threshold": self.threshold,
+        }
+
+
+class BurnRateEvaluator:
+    """Streams window attainments through a set of burn-rate rules.
+
+    Feed each closed window via :meth:`observe`; transitions come back
+    as :class:`AlertEvent` lists (empty when nothing changed state).
+    Early windows evaluate over however much history exists — a sim run
+    is short, and a fleet-melting first window should still page.
+    """
+
+    def __init__(
+        self,
+        goal: float,
+        rules: Sequence[BurnRateRule] = DEFAULT_BURN_RULES,
+    ) -> None:
+        if not 0.0 < goal <= 1.0:
+            raise ValueError("goal must be in (0, 1]")
+        self.goal = float(goal)
+        self.rules = tuple(rules)
+        self._burns: List[float] = []  # per-window burn rates
+        self._weights: List[int] = []  # per-window request counts
+        self._firing: Dict[str, bool] = {r.name: False for r in self.rules}
+        self.events: List[AlertEvent] = []
+        self.max_burn: Dict[str, float] = {r.name: 0.0 for r in self.rules}
+
+    def _lookback(self, n_windows: int) -> float:
+        """Request-weighted mean burn over the trailing ``n_windows``."""
+        burns = self._burns[-n_windows:]
+        weights = self._weights[-n_windows:]
+        total = sum(weights)
+        if total == 0:
+            return 0.0
+        return sum(b * w for b, w in zip(burns, weights)) / total
+
+    def observe(self, window: int, attainment: float, n: int) -> List[AlertEvent]:
+        """Record one closed window; returns any rule transitions."""
+        self._burns.append(burn_rate(attainment, self.goal))
+        self._weights.append(int(n))
+        out: List[AlertEvent] = []
+        for rule in self.rules:
+            burn_long = self._lookback(rule.long_windows)
+            burn_short = self._lookback(rule.short_windows)
+            self.max_burn[rule.name] = max(
+                self.max_burn[rule.name], burn_long
+            )
+            was_firing = self._firing[rule.name]
+            if not was_firing:
+                should = (
+                    burn_long >= rule.threshold
+                    and burn_short >= rule.threshold
+                )
+            else:
+                should = burn_short >= rule.threshold
+            if should != was_firing:
+                self._firing[rule.name] = should
+                out.append(AlertEvent(
+                    rule=rule.name,
+                    state="firing" if should else "resolved",
+                    window=int(window),
+                    burn_short=burn_short,
+                    burn_long=burn_long,
+                    threshold=rule.threshold,
+                ))
+        self.events.extend(out)
+        return out
+
+    def firing(self) -> List[str]:
+        """Names of rules currently in the firing state."""
+        return [r.name for r in self.rules if self._firing[r.name]]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe alerting summary (the ``load.json`` schema)."""
+        return {
+            "goal": self.goal,
+            "rules": [r.as_dict() for r in self.rules],
+            "events": [e.as_dict() for e in self.events],
+            "max_burn": {k: self.max_burn[k] for k in sorted(self.max_burn)},
+            "firing": self.firing(),
+        }

@@ -40,6 +40,11 @@ import numpy as np
 from repro.dist.client import ShardedCacheClient
 from repro.dist.retry import RetryPolicy
 from repro.load.autoscaler import Autoscaler, ScaleDecision
+from repro.load.burnrate import (
+    DEFAULT_BURN_RULES,
+    BurnRateEvaluator,
+    BurnRateRule,
+)
 from repro.load.slo import LatencyStats, SloPolicy, WindowStats
 from repro.load.traces import OP_PUT, LoadTrace
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -204,6 +209,7 @@ class LoadResult:
     slo: SloPolicy
     attainment: float
     windows: List[WindowStats]
+    alerts: Dict[str, Any]
     decisions: List[ScaleDecision]
     initial_shards: int
     final_shards: int
@@ -241,6 +247,7 @@ class LoadResult:
                 "attainment": self.attainment,
                 "met": self.slo_met,
             },
+            "alerts": self.alerts,
             "cache": self.cache,
             "autoscaler": {
                 "grows": self.grows,
@@ -271,14 +278,24 @@ class LoadResult:
 
 
 def write_load_artifacts(
-    result: LoadResult, out_dir: Union[str, Path]
+    result: LoadResult,
+    out_dir: Union[str, Path],
+    metrics_snapshot: Optional[Dict[str, Any]] = None,
 ) -> Path:
     """Export ``load.json`` under ``out_dir`` (consumed by ``repro
-    report``'s load / SLO section). Returns the file path."""
+    report``'s load / SLO section). Returns the file path.
+
+    ``metrics_snapshot`` (a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`) is embedded
+    under ``"metrics"`` so ``repro metrics`` can re-export the run in
+    Prometheus text format; it is *not* part of the digest.
+    """
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
     doc = result.summary()
     doc["digest"] = result.digest()
+    if metrics_snapshot is not None:
+        doc["metrics"] = metrics_snapshot
     path = out / LOAD_FILE
     path.write_text(json.dumps(doc, indent=2, sort_keys=True))
     return path
@@ -301,8 +318,14 @@ class ReplayHarness:
         Optional ``{shard_id: FaultPlan}`` injected into the RPC
         channel — replay under outages/brownouts.
     observer:
-        Receives ``on_load_window`` / ``on_autoscale`` hooks plus all
-        the client's RPC/breaker instrumentation.
+        Receives ``on_load_window`` / ``on_autoscale`` / ``on_alert``
+        hooks plus all the client's RPC/breaker instrumentation; with
+        span tracing enabled the run/window/request span hierarchy is
+        emitted through it too.
+    burn_rules:
+        Burn-rate alert rules evaluated over the windows
+        (:data:`~repro.load.burnrate.DEFAULT_BURN_RULES` by default;
+        pass ``()`` to disable alerting).
     """
 
     def __init__(
@@ -311,9 +334,13 @@ class ReplayHarness:
         autoscaler: Optional[Autoscaler] = None,
         fault_plans: Optional[Dict[int, Any]] = None,
         observer: Optional[Observer] = None,
+        burn_rules: Optional[Tuple[BurnRateRule, ...]] = None,
     ) -> None:
         self.config = config
         self.autoscaler = autoscaler
+        self.burn_rules = (
+            DEFAULT_BURN_RULES if burn_rules is None else tuple(burn_rules)
+        )
         self.clock = SimClock()
         self.latency = CongestionLatency()
         self.client = ShardedCacheClient(
@@ -412,9 +439,14 @@ class ReplayHarness:
             [] if record_outcomes else None
         )
         windows: List[WindowStats] = []
+        burn = BurnRateEvaluator(cfg.slo.goal, self.burn_rules)
         initial_shards = client.n_shards
         moved_before = 0  # moved_keys accumulates across MigrationStates
         total_moved = 0
+        run_span = (
+            obs.span_start("load_run", self.clock.total_seconds, requests=n)
+            if obs.active else None
+        )
 
         keys = trace.keys
         ops = trace.ops
@@ -432,6 +464,10 @@ class ReplayHarness:
                 cfg.service_rate_per_shard
             )
             rho = self._set_utilization(offered)
+            win_span = (
+                obs.span_start("window", self.clock.total_seconds, window=wi)
+                if obs.active else None
+            )
 
             for i in range(lo, hi):
                 t_arr = float(arrival[i])
@@ -470,6 +506,12 @@ class ReplayHarness:
                     wi, window.n, stats.p50_s, stats.p99_s, stats.p999_s,
                     window.attainment, offered, rho, window.n_shards,
                 )
+            for alert in burn.observe(wi, window.attainment, window.n):
+                if obs.active:
+                    obs.on_alert(
+                        alert.rule, alert.state, alert.window,
+                        alert.burn_short, alert.burn_long, alert.threshold,
+                    )
             if self.autoscaler is not None:
                 decision = self.autoscaler.observe(
                     window,
@@ -489,11 +531,15 @@ class ReplayHarness:
                             decision.window, decision.reason,
                             decision.p99_s, decision.utilization,
                         )
+            if obs.active:
+                obs.span_end(win_span, self.clock.total_seconds)
 
         if client.migration is not None:
             mig = client.migration
             self._drain_migration_fully()
             total_moved += mig.moved_keys - moved_before
+        if obs.active:
+            obs.span_end(run_span, self.clock.total_seconds)
 
         stats = client.stats
         decisions = (
@@ -511,6 +557,7 @@ class ReplayHarness:
             slo=cfg.slo,
             attainment=cfg.slo.attainment(latencies),
             windows=windows,
+            alerts=burn.as_dict(),
             decisions=decisions,
             initial_shards=initial_shards,
             final_shards=client.n_shards,

@@ -10,12 +10,20 @@ per-epoch numbers the trainer reported — the consistency check behind
 ``repro report``.
 """
 
+from repro.obs.critpath import (
+    critical_path,
+    critpath_lines,
+    self_time_breakdown,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS_S,
+    SPAN_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    log_buckets,
+    render_prometheus,
 )
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.obs.report import (
@@ -24,7 +32,16 @@ from repro.obs.report import (
     render_report,
     write_run_artifacts,
 )
+from repro.obs.spans import (
+    Span,
+    SpanNode,
+    SpanTracker,
+    build_span_forest,
+    find_spans,
+    format_span_tree,
+)
 from repro.obs.trace import (
+    SEGMENT_KIND,
     InMemoryRecorder,
     JsonlRecorder,
     NullRecorder,
@@ -39,12 +56,25 @@ __all__ = [
     "NullRecorder",
     "InMemoryRecorder",
     "JsonlRecorder",
+    "SEGMENT_KIND",
     "read_jsonl",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS_S",
+    "SPAN_BUCKETS_S",
+    "log_buckets",
+    "render_prometheus",
+    "Span",
+    "SpanNode",
+    "SpanTracker",
+    "build_span_forest",
+    "find_spans",
+    "format_span_tree",
+    "critical_path",
+    "critpath_lines",
+    "self_time_breakdown",
     "EpochAggregate",
     "aggregate_trace",
     "write_run_artifacts",

@@ -10,8 +10,10 @@ order.
 
 from __future__ import annotations
 
+import math
+import re
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
     "Counter",
@@ -19,6 +21,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "LATENCY_BUCKETS_S",
+    "SPAN_BUCKETS_S",
+    "log_buckets",
+    "render_prometheus",
 ]
 
 #: Default histogram buckets for simulated I/O latencies (seconds):
@@ -28,6 +33,36 @@ LATENCY_BUCKETS_S = (
     1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
     1.0, 5.0,
 )
+
+
+def log_buckets(
+    lo: float, hi: float, per_decade: int = 3
+) -> Tuple[float, ...]:
+    """Geometric histogram bounds from ``lo`` up to (at least) ``hi``.
+
+    ``per_decade`` bounds per factor of 10, so relative quantile error
+    is uniform across six-plus orders of magnitude — the right shape
+    for span durations, where a 2 us cache hit and a 50 ms degraded
+    fetch share one instrument. Bounds are rounded to 6 significant
+    digits so exported ``le`` labels are stable and readable.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    step = 10.0 ** (1.0 / per_decade)
+    n = int(math.ceil(math.log(hi / lo) / math.log(step))) + 1
+    out: List[float] = []
+    for i in range(n):
+        b = float("%.6g" % (lo * step ** i))
+        if not out or b > out[-1]:
+            out.append(b)
+    return tuple(out)
+
+
+#: Default bounds for span-duration histograms: 1 us .. 100 s at three
+#: buckets per decade (25 buckets + overflow).
+SPAN_BUCKETS_S = log_buckets(1e-6, 100.0, per_decade=3)
 
 
 class Counter:
@@ -161,3 +196,60 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Map a dotted instrument name into the Prometheus grammar."""
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return prefix + sanitized
+
+
+def _prom_num(value: float) -> str:
+    """A float in exposition-format shape (ints stay integral)."""
+    f = float(value)
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return "%.9g" % f
+
+
+def render_prometheus(snapshot: Dict[str, Dict], prefix: str = "repro_") -> str:
+    """A :meth:`MetricsRegistry.snapshot` as Prometheus text format.
+
+    Works from the snapshot dict (not the live registry) so ``repro
+    metrics`` can re-export the ``summary.json`` of a finished run.
+    Counters gain the conventional ``_total`` suffix; histograms render
+    cumulative ``_bucket{le=...}`` series with the mandatory ``+Inf``
+    bucket plus ``_sum``/``_count``; unset gauges are skipped. Ends with
+    a trailing newline as the exposition format requires.
+    """
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        pn = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {pn} counter")
+        lines.append(f"{pn} {_prom_num(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            continue
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn} gauge")
+        lines.append(f"{pn} {_prom_num(value)}")
+    for name, h in snapshot.get("histograms", {}).items():
+        pn = _prom_name(name, prefix)
+        lines.append(f"# TYPE {pn} histogram")
+        cum = 0
+        for bound, n in zip(h["bounds"], h["counts"]):
+            cum += n
+            lines.append('%s_bucket{le="%s"} %d' % (pn, "%.9g" % bound, cum))
+        lines.append('%s_bucket{le="+Inf"} %d' % (pn, h["count"]))
+        lines.append(f"{pn}_sum {_prom_num(h['total'])}")
+        lines.append(f"{pn}_count {h['count']}")
+    return "\n".join(lines) + "\n"

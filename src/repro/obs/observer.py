@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import SPAN_BUCKETS_S, MetricsRegistry
+from repro.obs.spans import Span, SpanTracker
 from repro.obs.trace import NullRecorder, TraceRecorder
 
 __all__ = ["Observer", "NULL_OBSERVER"]
@@ -43,6 +44,12 @@ class Observer:
     active:
         Master switch. ``False`` builds the shared null observer —
         instrumented sites check this before calling any hook.
+    span_seed:
+        When given, attaches a :class:`~repro.obs.spans.SpanTracker`
+        minting deterministic trace/span IDs from this seed; span hooks
+        become live and every emitted event gains ``trace``/``span``
+        correlation fields. ``None`` (the default) allocates no span
+        machinery at all.
     """
 
     def __init__(
@@ -50,6 +57,7 @@ class Observer:
         recorder: Optional[TraceRecorder] = None,
         metrics: Optional[MetricsRegistry] = None,
         active: bool = True,
+        span_seed: Optional[int] = None,
     ) -> None:
         self.recorder = recorder if recorder is not None else NullRecorder()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -57,12 +65,27 @@ class Observer:
         self.epoch = -1  # current trainer epoch; -1 outside a run
         self.hit_latency_s = 0.0  # set by the trainer from its config
         self._pending_store_latency_s = 0.0
+        self.spans: Optional[SpanTracker] = None
+        if span_seed is not None:
+            self.enable_spans(span_seed)
 
     # ------------------------------------------------------------------
     def emit(self, kind: str, **fields: Any) -> None:
-        """Emit one trace event stamped with the current epoch."""
+        """Emit one trace event stamped with the current epoch.
+
+        With span tracing enabled, every event is additionally stamped
+        with the trace ID and the innermost open span on the calling
+        thread — the correlation that ties breaker trips, audit
+        decisions, and window stats back to the request causing them.
+        """
         if self.recorder.enabled:
             event: Dict[str, Any] = {"kind": kind, "epoch": self.epoch}
+            tracker = self.spans
+            if tracker is not None and kind != "span":
+                event["trace"] = tracker.trace_id
+                current = tracker.current_id()
+                if current is not None:
+                    event["span"] = current
             event.update(fields)
             self.recorder.emit(event)
 
@@ -73,6 +96,48 @@ class Observer:
     def close(self) -> None:
         """Close the underlying recorder (flushes JSONL sinks)."""
         self.recorder.close()
+
+    # -- spans ----------------------------------------------------------
+    def enable_spans(self, seed: int) -> SpanTracker:
+        """Attach a deterministic span tracker (idempotent per seed)."""
+        self.spans = SpanTracker(seed, self.emit)
+        return self.spans
+
+    def span_start(self, name: str, t0_s: float,
+                   key: Optional[int] = None, **attrs: Any) -> Optional[Span]:
+        """Open a child span; ``None`` when span tracing is disabled.
+
+        Call sites keep the uniform shape
+        ``span = obs.span_start(...) if obs.active else None`` and later
+        ``obs.span_end(span, t)`` — both collapse to no-ops (and no
+        allocations) without a tracker.
+        """
+        tracker = self.spans
+        if tracker is None:
+            return None
+        return tracker.start(name, t0_s, key=key, **attrs)
+
+    def span_end(self, span: Optional[Span], t1_s: float,
+                 **attrs: Any) -> None:
+        """Close a span from :meth:`span_start` (no-op on ``None``)."""
+        tracker = self.spans
+        if tracker is None or span is None:
+            return
+        tracker.finish(span, t1_s, **attrs)
+        self.metrics.histogram(
+            f"span.{span.name}_s", bounds=SPAN_BUCKETS_S
+        ).observe(max(0.0, float(t1_s) - span.t0_s))
+
+    def span_record(self, name: str, t0_s: float, t1_s: float,
+                    key: Optional[int] = None, **attrs: Any) -> None:
+        """Emit an already-measured leaf span (no-op when disabled)."""
+        tracker = self.spans
+        if tracker is None:
+            return
+        tracker.record(name, t0_s, t1_s, key=key, **attrs)
+        self.metrics.histogram(
+            f"span.{name}_s", bounds=SPAN_BUCKETS_S
+        ).observe(max(0.0, float(t1_s) - float(t0_s)))
 
     # -- store ----------------------------------------------------------
     def on_store_fetch(self, index: int, nbytes: int, latency_s: float) -> None:
@@ -192,6 +257,41 @@ class Observer:
         else:
             m.counter("degraded.substituted").inc()
 
+    def on_audit(
+        self,
+        action: str,
+        key: int,
+        layer: str,
+        score: Optional[float] = None,
+        threshold: Optional[float] = None,
+        requested_id: Optional[int] = None,
+        reason: Optional[str] = None,
+    ) -> None:
+        """A cache made an auditable per-entry decision.
+
+        The audit family records *why*, not just *that*: ``action`` is
+        ``"evict"`` / ``"substitute"`` / ``"drop"``, with the ``score``
+        the entry held and the ``threshold`` it was measured against
+        (e.g. the importance heap's current minimum). With span tracing
+        on, events carry the trace/span of the request that forced the
+        decision — the per-decision dataset the calibrated-substitution
+        work (ROADMAP item 3) consumes.
+        """
+        m = self.metrics
+        m.counter(f"audit.{action}").inc()
+        fields: Dict[str, Any] = {
+            "action": action, "key": int(key), "layer": layer,
+        }
+        if score is not None:
+            fields["score"] = float(score)
+        if threshold is not None:
+            fields["threshold"] = float(threshold)
+        if requested_id is not None:
+            fields["requested_id"] = int(requested_id)
+        if reason is not None:
+            fields["reason"] = reason
+        self.emit("audit", **fields)
+
     # -- elastic manager -------------------------------------------------
     def on_elastic(self, epoch: int, beta: int, u: float, imp_ratio: float) -> None:
         """The Elastic Cache Manager produced one epoch's decision."""
@@ -213,8 +313,11 @@ class Observer:
         ok: bool = True,
         error: Optional[str] = None,
     ) -> None:
-        """One cache-protocol RPC attempt finished (metrics only: per-call
-        trace events would dwarf the fetch stream).
+        """One cache-protocol RPC attempt finished (metrics only: flat
+        per-call trace events would dwarf the fetch stream — with span
+        tracing enabled the channel records per-attempt ``rpc_attempt``
+        spans instead, which carry the same classification plus causal
+        context).
 
         ``ok=False`` marks a failed attempt; ``error`` carries its
         classification (``"outage"`` — the call never executed — or
@@ -312,14 +415,57 @@ class Observer:
             utilization=float(utilization),
         )
 
+    def on_alert(
+        self,
+        rule: str,
+        state: str,
+        window: int,
+        burn_short: float,
+        burn_long: float,
+        threshold: float,
+    ) -> None:
+        """A burn-rate alert rule changed state during load replay.
+
+        ``state`` is ``"firing"`` or ``"resolved"``; the burn rates are
+        the short- and long-lookback error-budget consumption multiples
+        that crossed (or fell back under) the rule's threshold.
+        """
+        m = self.metrics
+        m.counter("alerts.transitions").inc()
+        if state == "firing":
+            m.counter(f"alerts.{rule}.firing").inc()
+        m.gauge(f"alerts.{rule}.burn_short").set(burn_short)
+        m.gauge(f"alerts.{rule}.burn_long").set(burn_long)
+        self.emit(
+            "alert",
+            rule=rule,
+            state=state,
+            window=int(window),
+            burn_short=float(burn_short),
+            burn_long=float(burn_long),
+            threshold=float(threshold),
+        )
+
     # -- resilience ------------------------------------------------------
-    def on_breaker(self, old: str, new: str, at_s: float) -> None:
-        """The circuit breaker changed state."""
+    def on_breaker(
+        self, old: str, new: str, at_s: float, where: Optional[str] = None
+    ) -> None:
+        """The circuit breaker changed state.
+
+        ``where`` names the guarded resource (e.g. ``"shard3"``) when
+        the owner labeled its breaker; with span tracing on, the emitted
+        event's trace/span stamp ties the trip to the RPC that caused it.
+        """
         m = self.metrics
         m.counter("breaker.transitions").inc()
         if new == "open":
             m.counter("breaker.opens").inc()
-        self.emit("breaker", old=old, new=new, at_s=float(at_s))
+        if where is None:
+            self.emit("breaker", old=old, new=new, at_s=float(at_s))
+        else:
+            self.emit(
+                "breaker", old=old, new=new, at_s=float(at_s), where=where
+            )
 
     def on_checkpoint(self, path: str, epoch: int, batch: int) -> None:
         """A checkpoint archive was written."""

@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
 
-from repro.obs.trace import read_jsonl
+from repro.obs.critpath import critpath_lines
+from repro.obs.trace import SEGMENT_KIND, read_jsonl
 from repro.train.metrics import TrainResult
 
 __all__ = [
@@ -258,13 +259,22 @@ def _epoch_rows(epochs: List[Dict[str, Any]]) -> List[str]:
 
 def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
     """Render trace-derived tables plus the consistency check."""
-    events = read_jsonl(trace_path)
+    events, truncated = read_jsonl(trace_path, return_truncated=True)
     lines: List[str] = []
     by_kind: Dict[str, int] = {}
     for ev in events:
         by_kind[ev.get("kind", "?")] = by_kind.get(ev.get("kind", "?"), 0) + 1
     lines.append(f"trace: {len(events)} events "
                  f"({', '.join(f'{k}={v}' for k, v in sorted(by_kind.items()))})")
+    segments = by_kind.get(SEGMENT_KIND, 0)
+    if segments > 1:
+        lines.append(
+            f"  stitched from {segments} segments (resumed/appended run)"
+        )
+    if truncated:
+        lines.append(
+            "  note: final trace line was truncated mid-write and dropped"
+        )
 
     elastic = [e for e in events if e.get("kind") == "elastic"]
     if elastic:
@@ -298,6 +308,22 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
             f"prefetch overlap: {len(windows)} window(s), "
             f"charged {charged:.3f}s, saved {saved:.3f}s"
         )
+
+    audits = [e for e in events if e.get("kind") == "audit"]
+    if audits:
+        by_action: Dict[str, int] = {}
+        for ev in audits:
+            k = f"{ev.get('action', '?')}/{ev.get('layer', '?')}"
+            by_action[k] = by_action.get(k, 0) + 1
+        lines.append(
+            "cache decisions (audit): "
+            + "  ".join(f"{k}={v}" for k, v in sorted(by_action.items()))
+        )
+
+    cp = critpath_lines(events)
+    if cp:
+        lines.append("critical path (per-group self-time):")
+        lines.extend(cp)
 
     resizes = [e for e in events if e.get("kind") == "resize"]
     if resizes:
@@ -419,6 +445,33 @@ def _load_section(doc: Dict[str, Any]) -> List[str]:
             f"degraded={cache.get('degraded_lookups', 0)} "
             f"retries={cache.get('rpc_retries', 0)}"
         )
+    alerts = doc.get("alerts")
+    if alerts:
+        firing = alerts.get("firing", [])
+        status = (
+            "FIRING: " + ", ".join(firing) if firing else "none firing"
+        )
+        lines.append(
+            f"  burn-rate alerts (goal "
+            f"{alerts.get('goal', 0.0) * 100:.1f}%): {status}"
+        )
+        max_burn = alerts.get("max_burn", {})
+        for rule in alerts.get("rules", []):
+            name = rule.get("name", "?")
+            lines.append(
+                f"    rule {name}: >= {rule.get('threshold', 0.0):g}x over "
+                f"{rule.get('long_windows', '?')}w/"
+                f"{rule.get('short_windows', '?')}w, "
+                f"max burn {max_burn.get(name, 0.0):.2f}x"
+            )
+        for ev in alerts.get("events", []):
+            lines.append(
+                f"    window {ev.get('window', '?'):>4}: "
+                f"{ev.get('rule', '?'):<5} {ev.get('state', '?'):<9} "
+                f"burn short={ev.get('burn_short', 0.0):.2f}x "
+                f"long={ev.get('burn_long', 0.0):.2f}x "
+                f"(thr {ev.get('threshold', 0.0):g}x)"
+            )
     auto = doc.get("autoscaler", {})
     decisions = auto.get("decisions", [])
     lines.append(

@@ -1,0 +1,353 @@
+"""Hierarchical span tracing over the JSONL trace stream.
+
+A *span* is a named interval on the simulated clock with a parent — the
+unit every distributed tracer (Dapper, Jaeger, OpenTelemetry) uses to
+answer "why was this request slow?". The repo's flat events say *that* a
+fetch missed or an RPC failed; spans say *where inside which request*:
+
+    run -> epoch -> batch -> data_load            (training topology)
+    run -> window -> fetch -> rpc -> rpc_attempt  (load-harness topology)
+
+Design constraints, in order:
+
+* **Determinism.** Trace and span IDs are minted from the run seed via
+  the same splitmix64 finalizer the consistent-hash ring uses, so two
+  runs of the same configuration emit byte-identical span events. A
+  sequential counter feeds the single-threaded paths; call sites inside
+  worker threads pass a stable ``key`` (e.g. the sample index) so IDs
+  never depend on thread interleaving.
+* **Zero cost when off.** The tracker only exists when the observer was
+  built with a ``span_seed``; ``NULL_OBSERVER`` and metrics-only
+  observers allocate no span objects at all (asserted by tests).
+* **One event per span.** A span is emitted as a single ``kind="span"``
+  event when it *finishes* (parents therefore appear after their
+  children in the file); reconstruction links ``parent`` -> ``id``
+  after reading the whole trace, so ordering never matters.
+
+Span event schema (see README "Observability" for the full table)::
+
+    {"kind": "span", "trace": <16-hex>, "id": <16-hex>,
+     "parent": <16-hex or null>, "name": str,
+     "t0_s": float, "t1_s": float, ...kind-specific attrs}
+
+:class:`SpanTracker` also stamps the ambient span onto every *flat*
+event the observer emits (``trace``/``span`` fields), which is what
+correlates breaker trips, audit decisions, and RPC counters back to the
+request that caused them.
+
+Reconstruction helpers (:func:`build_span_forest`, :func:`find_spans`,
+:func:`format_span_tree`) turn a trace back into navigable trees; the
+critical-path analyzer in :mod:`repro.obs.critpath` consumes them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Span",
+    "SpanTracker",
+    "SpanNode",
+    "build_span_forest",
+    "find_spans",
+    "format_span_tree",
+    "span_seed_from",
+]
+
+_MASK = (1 << 64) - 1
+
+#: Salt separating the trace-ID domain from the ring's vnode hashes
+#: (both use splitmix64 over small integers).
+_TRACE_SALT = 0x5350414E_54524143  # "SPANTRAC"
+_KEY_SALT = 0x6B65795F_73616C74  # "key_salt"
+
+
+def _splitmix64(x: int) -> int:
+    """splitmix64 finalizer (mirrors ``repro.dist.ring.splitmix64``).
+
+    Duplicated rather than imported: ``repro.obs`` is the bottom of the
+    dependency stack and must not pull in ``repro.dist`` (whose modules
+    import the observer).
+    """
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK
+    return (z ^ (z >> 31)) & _MASK
+
+
+def span_seed_from(seed: int) -> int:
+    """Fold an arbitrary run seed into the 64-bit trace-ID domain."""
+    return _splitmix64((int(seed) ^ _TRACE_SALT) & _MASK)
+
+
+class Span:
+    """One open interval: identity plus start time plus static attrs.
+
+    Plain mutable object (``__slots__``, no dataclass machinery) because
+    one is allocated per traced operation on the hot path.
+    """
+
+    __slots__ = ("span_id", "parent_id", "name", "t0_s", "attrs")
+
+    def __init__(
+        self,
+        span_id: str,
+        parent_id: Optional[str],
+        name: str,
+        t0_s: float,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.t0_s = t0_s
+        self.attrs = attrs
+
+
+class SpanTracker:
+    """Mints deterministic span IDs and tracks the per-thread open stack.
+
+    Parameters
+    ----------
+    seed:
+        Run seed; the 16-hex ``trace_id`` and every span ID derive from
+        it (same seed, same configuration => byte-identical span events).
+    emit:
+        Sink for finished span events — normally ``Observer.emit``-shaped
+        ``(kind, **fields)``; injected to avoid an import cycle.
+    """
+
+    def __init__(self, seed: int, emit: Callable[..., None]) -> None:
+        self._trace_seed = span_seed_from(seed)
+        self.trace_id = format(self._trace_seed, "016x")
+        self._emit = emit
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- identity ------------------------------------------------------
+    def _mint(self, key: Optional[int]) -> str:
+        """A 16-hex span ID: counter-based, or stable under ``key``.
+
+        Counter IDs are deterministic only on single-threaded paths;
+        worker-pool call sites must pass a stable ``key`` (the IDs then
+        depend on the keys alone, not on thread interleaving).
+        """
+        if key is not None:
+            h = _splitmix64(self._trace_seed ^ _splitmix64(int(key) ^ _KEY_SALT))
+        else:
+            with self._seq_lock:
+                self._seq += 1
+                h = _splitmix64(self._trace_seed ^ self._seq)
+        return format(h, "016x")
+
+    def _stack(self) -> List[Span]:
+        """This thread's open-span stack (created on first use)."""
+        st = getattr(self._local, "stack", None)
+        if st is None:
+            st = self._local.stack = []
+        return st
+
+    def current_id(self) -> Optional[str]:
+        """The innermost open span's ID on this thread, or ``None``."""
+        st = getattr(self._local, "stack", None)
+        return st[-1].span_id if st else None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(
+        self,
+        name: str,
+        t0_s: float,
+        key: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span as a child of this thread's innermost open span."""
+        stack = self._stack()
+        parent = stack[-1].span_id if stack else None
+        span = Span(self._mint(key), parent, name, float(t0_s), attrs)
+        stack.append(span)
+        return span
+
+    def finish(self, span: Span, t1_s: float, **attrs: Any) -> None:
+        """Close a span and emit its single ``kind="span"`` event.
+
+        Closing out of order is tolerated (any still-open descendants
+        are closed at the same instant) so error paths can finish an
+        outer span without unwinding inner bookkeeping first.
+        """
+        stack = self._stack()
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+            self._emit_span(top, float(t1_s))
+        self._emit_span(span, float(t1_s), **attrs)
+
+    def record(
+        self,
+        name: str,
+        t0_s: float,
+        t1_s: float,
+        key: Optional[int] = None,
+        **attrs: Any,
+    ) -> None:
+        """Emit an already-finished span (no Span allocation, no stack).
+
+        The cheap form for leaf intervals measured inline — RPC
+        attempts, backoff sleeps, anti-entropy flushes.
+        """
+        stack = getattr(self._local, "stack", None)
+        parent = stack[-1].span_id if stack else None
+        self._emit(
+            "span",
+            trace=self.trace_id,
+            id=self._mint(key),
+            parent=parent,
+            name=name,
+            t0_s=float(t0_s),
+            t1_s=float(t1_s),
+            **attrs,
+        )
+
+    def _emit_span(self, span: Span, t1_s: float, **extra: Any) -> None:
+        fields: Dict[str, Any] = dict(span.attrs)
+        fields.update(extra)
+        self._emit(
+            "span",
+            trace=self.trace_id,
+            id=span.span_id,
+            parent=span.parent_id,
+            name=span.name,
+            t0_s=span.t0_s,
+            t1_s=t1_s,
+            **fields,
+        )
+
+
+# ----------------------------------------------------------------------
+# Reconstruction: trace events -> span trees
+# ----------------------------------------------------------------------
+
+class SpanNode:
+    """One reconstructed span with links to its children.
+
+    ``event`` is the raw trace dict; convenience properties expose the
+    schema fields. Children are sorted by start time.
+    """
+
+    __slots__ = ("event", "children")
+
+    def __init__(self, event: Dict[str, Any]) -> None:
+        self.event = event
+        self.children: List["SpanNode"] = []
+
+    @property
+    def span_id(self) -> str:
+        return self.event["id"]
+
+    @property
+    def parent_id(self) -> Optional[str]:
+        return self.event.get("parent")
+
+    @property
+    def name(self) -> str:
+        return self.event.get("name", "?")
+
+    @property
+    def t0_s(self) -> float:
+        return float(self.event.get("t0_s", 0.0))
+
+    @property
+    def t1_s(self) -> float:
+        return float(self.event.get("t1_s", self.t0_s))
+
+    @property
+    def dur_s(self) -> float:
+        return max(0.0, self.t1_s - self.t0_s)
+
+    def attrs(self) -> Dict[str, Any]:
+        """Kind-specific attributes (everything outside the schema core)."""
+        core = {"kind", "epoch", "trace", "id", "parent", "name", "t0_s", "t1_s"}
+        return {k: v for k, v in self.event.items() if k not in core}
+
+    def walk(self) -> Iterable["SpanNode"]:
+        """This node and every descendant, depth-first pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_forest(
+    events: Iterable[Dict[str, Any]],
+) -> Tuple[List[SpanNode], Dict[str, SpanNode]]:
+    """Link ``kind="span"`` events into trees.
+
+    Returns ``(roots, by_id)``. Roots are spans with no parent *or*
+    whose parent never closed (a crashed writer loses open ancestors —
+    their finished descendants still reconstruct as orphan roots).
+    Event order in the file is irrelevant.
+    """
+    by_id: Dict[str, SpanNode] = {}
+    for ev in events:
+        if ev.get("kind") == "span":
+            by_id[ev["id"]] = SpanNode(ev)
+    roots: List[SpanNode] = []
+    for node in by_id.values():
+        parent = by_id.get(node.parent_id) if node.parent_id else None
+        if parent is None:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in by_id.values():
+        node.children.sort(key=lambda n: (n.t0_s, n.t1_s, n.span_id))
+    roots.sort(key=lambda n: (n.t0_s, n.t1_s, n.span_id))
+    return roots, by_id
+
+
+def find_spans(
+    roots: Iterable[SpanNode],
+    name: Optional[str] = None,
+    **attrs: Any,
+) -> List[SpanNode]:
+    """All spans (from the given roots down) matching name and attrs.
+
+    ``attrs`` match against the raw event dict, so e.g.
+    ``find_spans(roots, "fetch", requested_id=17)`` pinpoints one
+    request's tree in a load run.
+    """
+    out: List[SpanNode] = []
+    for root in roots:
+        for node in root.walk():
+            if name is not None and node.name != name:
+                continue
+            if all(node.event.get(k) == v for k, v in attrs.items()):
+                out.append(node)
+    return out
+
+
+def format_span_tree(node: SpanNode, max_attrs: int = 4) -> str:
+    """Render one span tree as an indented text block.
+
+    The human-readable form of the acceptance criterion: a request's
+    full causal story (every stage, every RPC attempt, its error) as a
+    tree.
+    """
+    lines: List[str] = []
+
+    def fmt(n: SpanNode, depth: int) -> None:
+        attrs = n.attrs()
+        shown = sorted(attrs.items())[:max_attrs]
+        suffix = (
+            " [" + " ".join(f"{k}={v}" for k, v in shown) + "]" if shown else ""
+        )
+        lines.append(
+            "%s%s %.6fs (t=%.6f..%.6f)%s"
+            % ("  " * depth, n.name, n.dur_s, n.t0_s, n.t1_s, suffix)
+        )
+        for child in n.children:
+            fmt(child, depth + 1)
+
+    fmt(node, 0)
+    return "\n".join(lines)

@@ -22,15 +22,21 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Tuple, Union
 
 __all__ = [
     "TraceRecorder",
     "NullRecorder",
     "InMemoryRecorder",
     "JsonlRecorder",
+    "SEGMENT_KIND",
     "read_jsonl",
 ]
+
+#: Kind of the header event a :class:`JsonlRecorder` writes each time it
+#: (re)opens a trace file. A resumed run appends a second header, so
+#: ``repro report`` can count segments and stitch the journal.
+SEGMENT_KIND = "trace_segment"
 
 
 class TraceRecorder:
@@ -82,6 +88,35 @@ class InMemoryRecorder(TraceRecorder):
         self.events.clear()
 
 
+def _truncate_partial_tail(path: Path) -> None:
+    """Cut a newline-less partial final line off ``path`` in place.
+
+    A crashed writer flushes whole lines, so anything after the last
+    ``\\n`` is at most one incomplete event — the same fragment
+    :func:`read_jsonl` silently drops. No-op when the file already ends
+    cleanly.
+    """
+    with path.open("rb+") as fh:
+        fh.seek(0, 2)
+        size = fh.tell()
+        if size == 0:
+            return
+        # Scan backwards chunk by chunk for the last newline; event
+        # lines are small, so the first 64 KiB chunk almost always hits.
+        end = size
+        keep = 0
+        while end > 0:
+            step = min(end, 65536)
+            fh.seek(end - step)
+            cut = fh.read(step).rfind(b"\n")
+            if cut != -1:
+                keep = end - step + cut + 1
+                break
+            end -= step
+        if keep != size:
+            fh.truncate(keep)
+
+
 class JsonlRecorder(TraceRecorder):
     """Streams events to ``path``, one JSON object per line.
 
@@ -89,6 +124,13 @@ class JsonlRecorder(TraceRecorder):
     flushed, so a crashed (or preempted) run leaves a readable trace up
     to its last completed operation. Use as a context manager or call
     :meth:`close` explicitly.
+
+    The file is opened in **append** mode and each (re)open writes a
+    ``trace_segment`` header line: a checkpoint-restored run pointed at
+    the same path extends the pre-preemption journal as a new segment
+    instead of truncating it (mode ``"w"`` silently destroyed the
+    history a resume exists to preserve). Callers starting a genuinely
+    fresh run over an old path should unlink it first — the CLI does.
     """
 
     enabled = True
@@ -102,7 +144,21 @@ class JsonlRecorder(TraceRecorder):
         """Serialize the event as one JSON line (flushed immediately)."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w")
+            resumed = self.path.exists() and self.path.stat().st_size > 0
+            if resumed:
+                # If the previous segment's writer died mid-write, the
+                # file ends in a partial line with no terminator.
+                # Appending straight after it would glue the new
+                # segment header onto that fragment — turning the
+                # tolerable truncated *tail* read_jsonl drops into
+                # mid-file corruption it refuses. Drop the fragment
+                # (it holds no complete event) before appending.
+                _truncate_partial_tail(self.path)
+            self._fh = self.path.open("a")
+            self._write({"kind": SEGMENT_KIND, "resumed": resumed})
+        self._write(event)
+
+    def _write(self, event: Dict[str, Any]) -> None:
         json.dump(event, self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self._fh.flush()
@@ -123,17 +179,35 @@ class JsonlRecorder(TraceRecorder):
         self.close()
 
 
-def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+def read_jsonl(
+    path: Union[str, Path], return_truncated: bool = False
+) -> Union[List[Dict[str, Any]], Tuple[List[Dict[str, Any]], bool]]:
     """Load a JSONL trace file back into a list of event dicts.
 
-    Blank lines are skipped; a truncated final line (crashed writer)
-    raises ``json.JSONDecodeError`` — pass the file through
-    ``itertools.islice`` style pre-filtering if partial reads are needed.
+    Blank lines are skipped. A truncated *final* line — the signature a
+    crashed writer leaves mid-``write`` — is silently dropped, keeping
+    the docstring promise that crashed-run traces are readable; pass
+    ``return_truncated=True`` to get ``(events, truncated)`` so callers
+    (``repro report``) can surface that the tail was cut. Unparseable
+    lines anywhere *before* the final one still raise
+    ``json.JSONDecodeError``: that is corruption, not truncation.
     """
     events: List[Dict[str, Any]] = []
+    truncated = False
+    pending_error: Union[json.JSONDecodeError, None] = None
     with Path(path).open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            if pending_error is not None:
+                raise pending_error  # bad line followed by more data
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                pending_error = exc
+    if pending_error is not None:
+        truncated = True
+    if return_truncated:
+        return events, truncated
     return events

@@ -77,10 +77,19 @@ class CircuitBreaker:
         self._half_open_successes = 0
         self._opened_at = 0.0
         self._obs = NULL_OBSERVER
+        self.label: "str | None" = None  # names the guarded resource
 
-    def attach_observer(self, observer: Observer) -> None:
-        """Publish state transitions to ``observer``."""
+    def attach_observer(
+        self, observer: Observer, label: "str | None" = None
+    ) -> None:
+        """Publish state transitions to ``observer``.
+
+        ``label`` (e.g. ``"shard3"``) is attached to every transition
+        event so multi-breaker owners stay distinguishable in the trace.
+        """
         self._obs = observer
+        if label is not None:
+            self.label = str(label)
 
     # ------------------------------------------------------------------
     def _transition(self, new: BreakerState, now: float) -> None:
@@ -88,7 +97,9 @@ class CircuitBreaker:
             return
         self.events.append(BreakerEvent(now, self.state, new))
         if self._obs.active:
-            self._obs.on_breaker(self.state.value, new.value, now)
+            self._obs.on_breaker(
+                self.state.value, new.value, now, where=self.label
+            )
         self.state = new
 
     def allow(self, now: float) -> bool:

@@ -295,6 +295,8 @@ class DataParallelTrainer:
                 seen.add(id(w.policy))
 
     def _emit_run_start(self) -> None:
+        if not self.observer.active:
+            return
         cfg = self.config
         first = self.workers[0]
         self.observer.on_run_start({
@@ -355,8 +357,13 @@ class DataParallelTrainer:
         comm_factor = 2 * (k - 1) / k if k > 1 else 0.0
         val_accuracy = 0.0
         obs = self.observer
+        run_span = None
         if obs.active:
             self._emit_run_start()
+            run_span = obs.span_start(
+                "run", first.clock.total_seconds,
+                policy=result.policy_name, world_size=k,
+            )
         client = self._shared_client()
 
         # In shared-cache mode every worker aliases one policy/store.
@@ -370,8 +377,10 @@ class DataParallelTrainer:
         )
 
         for epoch in range(cfg.epochs):
+            epoch_span = None
             if obs.active:
                 obs.set_epoch(epoch)
+                epoch_span = obs.span_start("epoch", first.clock.total_seconds)
             for w in self.workers:
                 w.optimizer.set_epoch(epoch)
             for p in policies:
@@ -478,4 +487,13 @@ class DataParallelTrainer:
                 obs.on_epoch_metrics(dataclasses.asdict(em))
                 if client is not None:
                     obs.on_shards(client.shard_snapshots())
+            if epoch_span is not None:
+                obs.span_end(
+                    epoch_span, first.clock.total_seconds, steps=n_steps
+                )
+        if run_span is not None:
+            obs.span_end(
+                run_span, first.clock.total_seconds,
+                epochs=len(result.epochs),
+            )
         return result

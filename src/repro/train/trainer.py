@@ -272,6 +272,8 @@ class Trainer:
     def _emit_run_start(self) -> None:
         """Record the run configuration in the trace (aggregators need
         ``io_workers``/``hit_latency_s`` to reproduce stage times)."""
+        if not self.observer.active:
+            return
         cfg = self.config
         self.observer.on_run_start({
             "policy": self.policy.name,
@@ -287,11 +289,20 @@ class Trainer:
     def run(self) -> TrainResult:
         """Train for ``config.epochs`` epochs; returns the full run record."""
         self._attach_observer()
-        if self.observer.active:
+        obs = self.observer
+        run_span = None
+        if obs.active:
             self._emit_run_start()
+            run_span = obs.span_start(
+                "run", self.clock.total_seconds, policy=self.policy.name
+            )
         result = self._new_result()
         for epoch in range(self.config.epochs):
             self._run_epoch(epoch, result)
+        if run_span is not None:
+            obs.span_end(
+                run_span, self.clock.total_seconds, epochs=len(result.epochs)
+            )
         return result
 
     # ------------------------------------------------------------------
@@ -320,8 +331,11 @@ class Trainer:
         costs = self._stage_costs()
         visible_is_per_batch_ms = costs.visible_is_ms(costs.recommended_mode())
 
-        if self.observer.active:
-            self.observer.set_epoch(epoch)
+        obs = self.observer
+        epoch_span = None
+        if obs.active:
+            obs.set_epoch(epoch)
+            epoch_span = obs.span_start("epoch", self.clock.total_seconds)
         self.optimizer.set_epoch(epoch)
         if order is None:
             self.policy.before_epoch(epoch)
@@ -333,12 +347,22 @@ class Trainer:
             )
 
         for slot in range(start_batch, self.loader.n_batches(order)):
+            batch_span = None
+            if obs.active:
+                t_slot = self.clock.total_seconds
+                batch_span = obs.span_start("batch", t_slot, slot=slot)
             batch = self.loader.collate(self.loader.batch_ids(order, slot))
+            if obs.active:
+                t_loaded = self.clock.total_seconds
+                if t_loaded > t_slot:
+                    obs.span_record("data_load", t_slot, t_loaded, slot=slot)
             if batch is not None:
                 self._train_batch(
                     batch, epoch, acc, costs, visible_is_per_batch_ms,
                     slot=slot,
                 )
+            if batch_span is not None:
+                obs.span_end(batch_span, self.clock.total_seconds)
             if batch_hook is not None:
                 batch_hook(epoch, slot, order, acc)
 
@@ -391,8 +415,12 @@ class Trainer:
             preprocess_s=acc.preprocess_s,
         )
         result.epochs.append(em)
-        if self.observer.active:
-            self.observer.on_epoch_metrics(dataclasses.asdict(em))
+        if obs.active:
+            obs.on_epoch_metrics(dataclasses.asdict(em))
+        if epoch_span is not None:
+            obs.span_end(
+                epoch_span, self.clock.total_seconds, batches=acc.n_batches
+            )
 
     def _train_batch(
         self,
@@ -439,10 +467,23 @@ class Trainer:
             costs.stage1_ms + costs.stage2_ms * trained_fraction
         ) / 1e3 * scale
         acc.compute_s += batch_compute_s
+        obs = self.observer
+        t0 = self.clock.total_seconds if obs.active else 0.0
         self.clock.advance("compute", batch_compute_s)
         self.clock.advance("is_visible", visible_is_per_batch_ms / 1e3)
         if batch_preprocess_s:
             self.clock.advance("preprocess", batch_preprocess_s)
+        if obs.active:
+            # The advance amounts are known, so stage span bounds are
+            # derived arithmetically from one clock read.
+            t1 = t0 + batch_compute_s
+            t2 = t1 + visible_is_per_batch_ms / 1e3
+            obs.span_record("compute", t0, t1, slot=slot)
+            obs.span_record("is_visible", t1, t2, slot=slot)
+            if batch_preprocess_s:
+                obs.span_record(
+                    "preprocess", t2, t2 + batch_preprocess_s, slot=slot
+                )
         if self.observer.active:
             self.observer.on_batch(
                 slot,

@@ -1,0 +1,144 @@
+"""Burn-rate math and multi-window alert evaluator tests."""
+
+import pytest
+
+from repro.load.burnrate import (
+    DEFAULT_BURN_RULES,
+    AlertEvent,
+    BurnRateEvaluator,
+    BurnRateRule,
+    burn_rate,
+)
+
+
+def test_burn_rate_math():
+    # 99% goal -> 1% budget; 98% attainment misses 2% -> 2x burn.
+    assert burn_rate(0.98, 0.99) == pytest.approx(2.0)
+    assert burn_rate(0.99, 0.99) == pytest.approx(1.0)  # exactly on budget
+    assert burn_rate(1.0, 0.99) == pytest.approx(0.0)
+    assert burn_rate(0.0, 0.99) == pytest.approx(100.0)
+
+
+def test_burn_rate_goal_of_one_stays_finite():
+    assert burn_rate(0.999, 1.0) > 1e5
+    assert burn_rate(1.0, 1.0) == pytest.approx(0.0)
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_windows=0, short_windows=1, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_windows=2, short_windows=3, threshold=1.0)
+    with pytest.raises(ValueError):
+        BurnRateRule("x", long_windows=4, short_windows=1, threshold=0.0)
+
+
+def test_default_rules_are_fast_slow_pair():
+    names = [r.name for r in DEFAULT_BURN_RULES]
+    assert names == ["fast", "slow"]
+    fast, slow = DEFAULT_BURN_RULES
+    assert fast.threshold > slow.threshold
+    assert fast.long_windows < slow.long_windows
+
+
+def test_evaluator_goal_validation():
+    with pytest.raises(ValueError):
+        BurnRateEvaluator(goal=0.0)
+    with pytest.raises(ValueError):
+        BurnRateEvaluator(goal=1.5)
+
+
+def _evaluator(threshold=2.0, long_windows=4, short_windows=2):
+    rule = BurnRateRule(
+        "r", long_windows=long_windows, short_windows=short_windows,
+        threshold=threshold,
+    )
+    return BurnRateEvaluator(goal=0.99, rules=(rule,))
+
+
+def test_fire_and_resolve_transitions_only():
+    ev = _evaluator()
+    # Healthy windows: no transitions.
+    assert ev.observe(0, attainment=1.0, n=100) == []
+    assert ev.observe(1, attainment=0.995, n=100) == []
+    assert ev.firing() == []
+    # Budget torched: 0.95 attainment = 5x burn >= 2x on both lookbacks.
+    events = ev.observe(2, attainment=0.80, n=100)
+    assert len(events) == 1
+    fired = events[0]
+    assert fired.state == "firing" and fired.window == 2
+    assert fired.burn_short >= 2.0 and fired.burn_long >= 2.0
+    # Still bad: firing already, so no repeat event.
+    assert ev.observe(3, attainment=0.80, n=100) == []
+    assert ev.firing() == ["r"]
+    # Recovery: resolve once the short lookback falls back under.
+    assert ev.observe(4, attainment=1.0, n=100) == []  # short still burnt
+    events = ev.observe(5, attainment=1.0, n=100)
+    assert [e.state for e in events] == ["resolved"]
+    assert ev.firing() == []
+    # Full history retained in order.
+    assert [e.state for e in ev.events] == ["firing", "resolved"]
+
+
+def test_first_window_can_fire_with_partial_lookback():
+    ev = _evaluator(threshold=2.0, long_windows=12, short_windows=3)
+    events = ev.observe(0, attainment=0.5, n=50)
+    assert [e.state for e in events] == ["firing"]
+
+
+def test_lookbacks_are_request_weighted():
+    ev = _evaluator(threshold=2.0, long_windows=2, short_windows=2)
+    # A huge healthy window dilutes a tiny terrible one below threshold.
+    ev.observe(0, attainment=1.0, n=1000)
+    assert ev.observe(1, attainment=0.80, n=10) == []
+    assert ev.firing() == []
+    # The same miss with the weights flipped fires.
+    ev2 = _evaluator(threshold=2.0, long_windows=2, short_windows=2)
+    ev2.observe(0, attainment=1.0, n=10)
+    assert [e.state for e in ev2.observe(1, attainment=0.80, n=1000)] == [
+        "firing"
+    ]
+
+
+def test_long_lookback_gates_the_fire():
+    # One bad window trips the short lookback but not the long mean.
+    ev = _evaluator(threshold=4.0, long_windows=4, short_windows=1)
+    for w in range(3):
+        ev.observe(w, attainment=1.0, n=100)
+    assert ev.observe(3, attainment=0.96, n=100) == []  # short 4x, long 1x
+    assert ev.firing() == []
+
+
+def test_max_burn_tracks_peak_long_lookback():
+    ev = _evaluator(threshold=100.0, long_windows=1, short_windows=1)
+    ev.observe(0, attainment=0.97, n=10)  # 3x
+    ev.observe(1, attainment=0.95, n=10)  # 5x
+    ev.observe(2, attainment=1.0, n=10)
+    assert ev.max_burn["r"] == pytest.approx(5.0)
+
+
+def test_as_dict_is_json_shaped():
+    ev = _evaluator()
+    ev.observe(0, attainment=0.5, n=100)
+    doc = ev.as_dict()
+    assert doc["goal"] == pytest.approx(0.99)
+    assert doc["rules"][0] == {
+        "name": "r", "long_windows": 4, "short_windows": 2, "threshold": 2.0,
+    }
+    assert doc["firing"] == ["r"]
+    assert doc["events"][0]["state"] == "firing"
+    assert doc["max_burn"]["r"] > 2.0
+    import json
+
+    json.dumps(doc)  # fully serializable
+
+
+def test_alert_event_as_dict_round_trip():
+    e = AlertEvent(
+        rule="fast", state="firing", window=3,
+        burn_short=12.0, burn_long=11.0, threshold=10.0,
+    )
+    assert e.as_dict() == {
+        "rule": "fast", "state": "firing", "window": 3,
+        "burn_short": 12.0, "burn_long": 11.0, "threshold": 10.0,
+    }

@@ -4,16 +4,20 @@ The fixture under ``fixtures/golden-load-run/`` is the checked-in
 ``load.json`` from a small autoscaled replay::
 
     PYTHONPATH=src python -m repro load --requests 6000 --keys 400 \\
-        --capacity 200 --window 300 --base-rate 300 --seed 7 \\
+        --capacity 200 --window 300 --base-rate 300 --slo-ms 2 --seed 7 \\
         --trace-dir tests/load/fixtures/golden-load-run
     rm tests/load/fixtures/golden-load-run/trace.jsonl   # too big to pin
     PYTHONPATH=src python -m repro report tests/load/fixtures/golden-load-run \\
         > tests/load/fixtures/golden-load-report.txt
 
-Any change to the load-report layout, the percentile math, or the
-autoscaler's decision stream shows up here as a diff — regenerate the
-fixture deliberately, with the commands above, when the change is
-intended. Follows ``tests/obs/test_report_golden.py``.
+(The 2 ms SLO is deliberately unattainable for this tier so the
+burn-rate alert rules fire and the report's alert block is pinned too;
+the autoscaler's decision stream is SLO-independent.)
+
+Any change to the load-report layout, the percentile math, the alert
+evaluator, or the autoscaler's decision stream shows up here as a diff —
+regenerate the fixture deliberately, with the commands above, when the
+change is intended. Follows ``tests/obs/test_report_golden.py``.
 """
 
 import json
@@ -39,9 +43,20 @@ def test_golden_fixture_has_the_slo_table():
     golden = (FIXTURES / "golden-load-report.txt").read_text()
     assert "load / SLO:" in golden
     assert "p50=" in golden and "p99=" in golden and "p999=" in golden
-    assert "-> MET" in golden
+    # The 2 ms SLO is deliberately missed so the alert block is pinned.
+    assert "-> MISSED" in golden
     assert "grow" in golden and "shrink" in golden
     assert "resize(s) verified" in golden
+
+
+def test_golden_fixture_pins_the_burn_rate_block():
+    golden = (FIXTURES / "golden-load-report.txt").read_text()
+    assert "burn-rate alerts (goal 99.0%):" in golden
+    assert "rule fast: >= 10x over 4w/1w" in golden
+    assert "rule slow: >= 2x over 12w/3w" in golden
+    # Both fire in window 0 and both eventually resolve.
+    assert "fast  firing" in golden and "slow  firing" in golden
+    assert "fast  resolved" in golden and "slow  resolved" in golden
 
 
 def test_golden_fixture_is_replayable():

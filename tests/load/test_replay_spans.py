@@ -1,0 +1,173 @@
+"""Acceptance: a sharded load replay's trace reconstructs full span trees.
+
+The ISSUE-9 tentpole criterion — run the load harness with tracing on
+(plus an injected shard outage) and show that one request's complete
+causal story is recoverable from the flat JSONL stream: the fetch span,
+its per-shard ``rpc`` spans, every ``rpc_attempt`` (including failed
+ones and their classification), the backoff sleeps between retries, and
+the breaker state the channel saw.
+"""
+
+import pytest
+
+from repro.load.autoscaler import Autoscaler, AutoscalerConfig
+from repro.load.replay import ReplayConfig, ReplayHarness
+from repro.load.slo import SloPolicy
+from repro.load.traces import BurstyArrivals, TraceConfig, make_trace
+from repro.obs import (
+    InMemoryRecorder,
+    MetricsRegistry,
+    Observer,
+    build_span_forest,
+    find_spans,
+    format_span_tree,
+)
+from repro.resilience.faults import FaultPlan, OutageWindow
+
+pytestmark = pytest.mark.load
+
+
+def _trace(n=3000, seed=7):
+    return make_trace(
+        TraceConfig(n_requests=n, n_keys=300, zipf_exponent=1.1,
+                    put_fraction=0.05),
+        BurstyArrivals(rate_low=300.0, rate_high=5000.0,
+                       mean_on_s=1.0, mean_off_s=2.0),
+        seed=seed,
+    )
+
+
+def _traced_run(fault_plans=None, autoscale=False, n=3000):
+    rec = InMemoryRecorder()
+    obs = Observer(recorder=rec, metrics=MetricsRegistry(), span_seed=7)
+    cfg = ReplayConfig(
+        total_capacity=128, imp_ratio=0.8, n_shards=2, window_requests=500,
+        slo=SloPolicy(target_s=0.02),
+    )
+    auto = Autoscaler(AutoscalerConfig(min_shards=1, max_shards=4)) \
+        if autoscale else None
+    harness = ReplayHarness(
+        cfg, autoscaler=auto, fault_plans=fault_plans, observer=obs
+    )
+    result = harness.run(_trace(n=n))
+    return result, rec.events
+
+
+def test_span_hierarchy_covers_the_whole_run():
+    result, events = _traced_run()
+    roots, by_id = build_span_forest(events)
+    # One load_run root; every span belongs to its tree.
+    assert [r.name for r in roots] == ["load_run"]
+    run = roots[0]
+    assert run.event["requests"] == result.n_requests
+    windows = [c for c in run.children if c.name == "window"]
+    assert len(windows) == len(result.windows)
+    assert [w.event["window"] for w in windows] == list(
+        range(len(result.windows))
+    )
+    # Requests nest under their window; RPC attempts under their rpc.
+    fetches = find_spans(roots, "fetch")
+    assert len(fetches) > 0
+    rpcs = find_spans(roots, "rpc")
+    assert len(rpcs) > 0
+    attempts = find_spans(roots, "rpc_attempt")
+    assert len(attempts) >= len(rpcs)
+    # Every attempt hangs off a request-side span: the retrying rpc
+    # wrapper usually, or directly off fetch/put for one-shot calls
+    # (best-effort deletes), or off a repair/drain batch.
+    parent_names = {
+        by_id[a.parent_id].name for a in attempts if a.parent_id in by_id
+    }
+    assert all(a.parent_id in by_id for a in attempts)
+    assert parent_names <= {
+        "rpc", "fetch", "put", "anti_entropy", "migration_drain"
+    }
+    assert "rpc" in parent_names
+
+
+def test_outage_request_tree_tells_the_full_retry_story():
+    plans = {0: FaultPlan([OutageWindow(start_s=0.2, end_s=0.9)])}
+    result, events = _traced_run(fault_plans=plans)
+    assert result.cache["rpc_retries"] > 0
+    roots, by_id = build_span_forest(events)
+
+    # Find the rpc that burned its whole retry budget against the outage.
+    exhausted = [
+        r for r in find_spans(roots, "rpc")
+        if r.event.get("error") == "retry_exhausted"
+    ]
+    assert exhausted, "outage plan should exhaust at least one rpc"
+    rpc = exhausted[0]
+    kids = [(c.name, c.event) for c in rpc.children]
+    attempts = [e for name, e in kids if name == "rpc_attempt"]
+    backoffs = [e for name, e in kids if name == "backoff"]
+    # Every attempt is present with its classification, retries are
+    # separated by recorded backoff sleeps, and the count matches the
+    # budget the rpc span reported on close.
+    assert len(attempts) == rpc.event["attempts"] >= 2
+    assert all(a["ok"] is False and a["error"] == "outage" for a in attempts)
+    assert len(backoffs) == len(attempts) - 1
+    # The span records the breaker state the client saw when it opened
+    # (still closed here: this is the rpc that trips it).
+    assert rpc.event["breaker"] == "closed"
+    assert rpc.event["shard"] == 0
+    # The trip then shows up as fast-fail rpcs seeing an open breaker.
+    fast_failed = [
+        r for r in find_spans(roots, "rpc")
+        if r.event.get("error") == "circuit_open"
+    ]
+    assert fast_failed
+    assert all(r.event["breaker"] == "open" for r in fast_failed)
+
+    # The whole story climbs to the run root: rpc -> fetch/put -> window
+    # -> load_run (client-internal repairs may nest one level deeper).
+    chain = [rpc.name]
+    cursor = rpc
+    while cursor.parent_id is not None:
+        cursor = by_id[cursor.parent_id]
+        chain.append(cursor.name)
+    assert chain[-1] == "load_run"
+    assert "window" in chain
+
+    # And the human-readable rendering shows every attempt.
+    text = format_span_tree(by_id[rpc.parent_id])
+    assert "rpc_attempt" in text and "error=outage" in text
+
+
+def test_breaker_trips_correlate_to_the_causing_request():
+    # A long outage with a tight breaker: trips happen inside requests.
+    plans = {0: FaultPlan([OutageWindow(start_s=0.1, end_s=3.0)])}
+    _, events = _traced_run(fault_plans=plans)
+    breaker_events = [
+        e for e in events if e["kind"] == "breaker" and e["new"] == "open"
+    ]
+    assert breaker_events, "outage should trip shard 0's breaker"
+    _, by_id = build_span_forest(events)
+    correlated = [e for e in breaker_events if "span" in e]
+    assert correlated
+    for ev in correlated:
+        assert ev["trace"] == events[0].get("trace") or ev["trace"]
+        # The stamped span is a real span in the forest, and walking up
+        # from it reaches the request that tripped the breaker.
+        node = by_id[ev["span"]]
+        names = {node.name}
+        while node.parent_id is not None:
+            node = by_id[node.parent_id]
+            names.add(node.name)
+        assert "load_run" in names
+
+
+def test_traced_replay_is_deterministic():
+    _, events_a = _traced_run(n=1200)
+    _, events_b = _traced_run(n=1200)
+    assert events_a == events_b
+
+
+def test_autoscaled_run_nests_migration_drains():
+    result, events = _traced_run(autoscale=True, n=6000)
+    if not result.decisions:
+        pytest.skip("no autoscale decision at this scale")
+    roots, _ = build_span_forest(events)
+    drains = find_spans(roots, "migration_drain")
+    assert drains
+    assert all(d.event.get("moved") is not None for d in drains)

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.obs import (
+    SEGMENT_KIND,
     InMemoryRecorder,
     JsonlRecorder,
     NullRecorder,
@@ -37,11 +38,14 @@ def test_jsonl_recorder_round_trip(tmp_path):
         rec.emit({"kind": "run_start", "epoch": -1, "policy": "spidercache"})
         rec.emit({"kind": "fetch", "epoch": 0, "requested_id": 7,
                   "served_id": 7, "source": "remote", "latency_s": 0.004})
-    assert rec.emitted == 2
+    # 2 payload events + the segment header written on first open.
+    assert rec.emitted == 3
     events = read_jsonl(path)
-    assert events[0]["kind"] == "run_start"
-    assert events[1]["served_id"] == 7
-    assert events[1]["latency_s"] == pytest.approx(0.004)
+    assert events[0]["kind"] == SEGMENT_KIND
+    assert events[0]["resumed"] is False
+    assert events[1]["kind"] == "run_start"
+    assert events[2]["served_id"] == 7
+    assert events[2]["latency_s"] == pytest.approx(0.004)
 
 
 def test_jsonl_recorder_lazy_open(tmp_path):
@@ -59,7 +63,9 @@ def test_jsonl_lines_flushed_immediately(tmp_path):
     rec = JsonlRecorder(path)
     rec.emit({"kind": "fetch", "epoch": 0})
     # Readable before close: a preempted run leaves a usable journal.
-    assert json.loads(path.read_text().splitlines()[0])["kind"] == "fetch"
+    lines = path.read_text().splitlines()
+    assert json.loads(lines[0])["kind"] == SEGMENT_KIND
+    assert json.loads(lines[1])["kind"] == "fetch"
     rec.close()
 
 
@@ -67,3 +73,56 @@ def test_read_jsonl_skips_blank_lines(tmp_path):
     path = tmp_path / "trace.jsonl"
     path.write_text('{"kind":"a"}\n\n{"kind":"b"}\n')
     assert [e["kind"] for e in read_jsonl(path)] == ["a", "b"]
+
+
+def test_jsonl_recorder_appends_segments_across_reopens(tmp_path):
+    """A resumed run extends the journal instead of truncating it."""
+    path = tmp_path / "trace.jsonl"
+    with JsonlRecorder(path) as rec:
+        rec.emit({"kind": "a"})
+    with JsonlRecorder(path) as rec2:
+        rec2.emit({"kind": "b"})
+    events = read_jsonl(path)
+    assert [e["kind"] for e in events] == [SEGMENT_KIND, "a", SEGMENT_KIND, "b"]
+    assert events[0]["resumed"] is False
+    assert events[2]["resumed"] is True
+
+
+def test_jsonl_recorder_resume_over_truncated_tail(tmp_path):
+    """Appending after a mid-write crash must not glue the new segment
+    header onto the dead writer's partial final line — that would turn
+    a tolerable truncated tail into mid-file corruption read_jsonl
+    refuses. The recorder drops the fragment (no complete event lost)
+    and the journal stays fully parseable."""
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"s"}\n{"kind":"a"}\n{"kind":"b","x":')
+    with JsonlRecorder(path) as rec:
+        rec.emit({"kind": "c"})
+    events, truncated = read_jsonl(path, return_truncated=True)
+    assert truncated is False
+    assert [e["kind"] for e in events] == ["s", "a", SEGMENT_KIND, "c"]
+    assert events[2]["resumed"] is True
+
+
+def test_read_jsonl_drops_truncated_final_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"a"}\n{"kind":"b"')  # writer died mid-line
+    events, truncated = read_jsonl(path, return_truncated=True)
+    assert [e["kind"] for e in events] == ["a"]
+    assert truncated is True
+    # Default signature stays a plain list for existing callers.
+    assert [e["kind"] for e in read_jsonl(path)] == ["a"]
+
+
+def test_read_jsonl_clean_file_reports_untruncated(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"a"}\n')
+    events, truncated = read_jsonl(path, return_truncated=True)
+    assert truncated is False and len(events) == 1
+
+
+def test_read_jsonl_raises_on_mid_file_corruption(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"kind":"a"}\n{oops\n{"kind":"b"}\n')
+    with pytest.raises(json.JSONDecodeError):
+        read_jsonl(path)

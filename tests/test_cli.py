@@ -122,6 +122,66 @@ def test_load_with_trace_dir_and_report(tmp_path, capsys):
     assert "p99=" in out
 
 
+def test_load_prints_burn_rate_alerts(capsys):
+    # A 2ms SLO this tier cannot meet: the alert rules must fire.
+    assert main(LOAD_FAST + ["--slo-ms", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "burn-rate alerts: FIRING:" in out
+    assert "transition(s)" in out
+    assert "burn short=" in out and "long=" in out
+
+
+def test_load_healthy_slo_reports_none_firing(capsys):
+    assert main(LOAD_FAST + ["--slo-ms", "1000"]) == 0
+    out = capsys.readouterr().out
+    assert "burn-rate alerts: none firing (0 transition(s))" in out
+
+
+# -- repro metrics ------------------------------------------------------
+def test_metrics_command_exports_prometheus_text(tmp_path, capsys):
+    run_dir = tmp_path / "load-run"
+    assert main(LOAD_FAST + ["--trace-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_rpc_calls_total counter" in out
+    assert 'repro_rpc_latency_s_bucket{le="+Inf"}' in out
+    assert "repro_load_windows_total 10" in out
+    assert out.endswith("\n")
+    # Every sample line parses as `name value`.
+    for line in out.splitlines():
+        if line and not line.startswith("#"):
+            float(line.rsplit(" ", 1)[1])
+
+
+def test_metrics_command_custom_prefix(tmp_path, capsys):
+    run_dir = tmp_path / "load-run"
+    assert main(LOAD_FAST + ["--trace-dir", str(run_dir)]) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(run_dir), "--prefix", "spider_"]) == 0
+    out = capsys.readouterr().out
+    assert "spider_rpc_calls_total" in out
+    assert "repro_" not in out
+
+
+def test_metrics_command_training_run(tmp_path, capsys):
+    run_dir = tmp_path / "train-run"
+    assert main(
+        ["train", "--policy", "spidercache", "--trace-dir", str(run_dir)]
+        + FAST
+    ) == 0
+    capsys.readouterr()
+    assert main(["metrics", str(run_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "repro_cache_fetches_total" in out
+    assert "# TYPE repro_train_epoch_time_s histogram" in out
+
+
+def test_metrics_command_without_snapshot(tmp_path, capsys):
+    assert main(["metrics", str(tmp_path)]) == 2
+    assert "no metrics snapshot" in capsys.readouterr().err
+
+
 @pytest.mark.parametrize(
     "flags,message",
     [
