@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test coverage bench bench-csv bench-trajectory bench-tracing examples smoke faults concurrency dist load report all
+.PHONY: install test coverage bench bench-csv bench-trajectory bench-tracing examples smoke faults concurrency dist load transport report all
 
 # Where `make report` writes (and reads back) its traced demo run.
 REPORT_DIR ?= results/traced-run
@@ -76,6 +76,17 @@ load:
 	REPRO_HYPOTHESIS_PROFILE=ci $(PYTHON) -m pytest -m load
 	$(PYTHON) -m repro load --requests 6000 --keys 400 --capacity 200 \
 		--window 300 --base-rate 300 --slo-ms 2 --seed 7
+
+# Wall-clock transport suite (-m wallclock: sim/real parity oracle +
+# real-process chaos) with a hard timeout and NO retries — these tests
+# spawn real worker processes, and a flake here is a bug, not weather.
+# Plus a real-transport train + load smoke, exactly what CI runs.
+transport:
+	timeout 300 $(PYTHON) -m pytest -m wallclock -p no:cacheprovider
+	timeout 120 $(PYTHON) -m repro train --policy spidercache --samples 600 \
+		--epochs 2 --world-size 2 --shared-cache --cache-shards 2 \
+		--transport real
+	timeout 120 $(PYTHON) -m repro load --requests 8000 --transport real
 
 # Tier-2 fault-injection suite plus the scenario sweep CLI.
 faults:

@@ -64,16 +64,21 @@ REQUIRED_METRICS = (
     "hnsw_recall_at_10",
     "epoch_time_s",
     "epoch_time_simulated_s",
+    "transport_sim_rpc_ops_per_s",
+    "transport_real_rpc_ops_per_s",
+    "transport_real_epoch_time_s",
 )
 # Metrics where a larger value is a regression (all others: smaller is).
-LOWER_IS_BETTER = frozenset({"epoch_time_s", "epoch_time_simulated_s"})
+LOWER_IS_BETTER = frozenset({
+    "epoch_time_s", "epoch_time_simulated_s", "transport_real_epoch_time_s",
+})
 # Quality/ratio metrics excluded from the ops/sec regression gate but
 # still floor-checked (a recall collapse is a correctness bug, not noise).
 QUALITY_METRICS = frozenset({"hnsw_recall_at_10", "hnsw_query_speedup_vs_seed"})
 # Config fields that must match for two reports to be comparable.
 SCALE_FIELDS = (
     "hnsw_n", "dim", "n_queries", "k", "cache_ops", "cache_capacity",
-    "key_space", "epoch_samples", "epochs", "batch_size",
+    "key_space", "epoch_samples", "epochs", "batch_size", "transport_ops",
 )
 
 
@@ -98,6 +103,7 @@ class BenchConfig:
     epoch_samples: int = 600
     epochs: int = 2
     batch_size: int = 64
+    transport_ops: int = 4_000  # cache-protocol ops per transport bench
     seed: int = 0
 
     @classmethod
@@ -105,7 +111,7 @@ class BenchConfig:
         """Reduced-scale config for CI smoke runs and schema tests."""
         base = cls(
             hnsw_n=1_500, n_queries=50, cache_ops=8_000, cache_capacity=400,
-            key_space=1_500, epoch_samples=300, epochs=1,
+            key_space=1_500, epoch_samples=300, epochs=1, transport_ops=1_000,
         )
         return replace(base, **overrides)
 
@@ -359,6 +365,105 @@ def bench_epoch(cfg: BenchConfig) -> Dict[str, float]:
     }
 
 
+def _drive_shard_client(client, n_ops: int, key_space: int, seed: int) -> float:
+    """Mixed admit/fetch/homophily workload; returns wall seconds."""
+    import numpy as _np
+
+    rng = _np.random.default_rng(seed)
+    keys = (rng.zipf(1.2, size=n_ops) % key_space).astype(int)
+    scores = rng.random(n_ops)
+    dim = 8
+
+    def remote(i: int):
+        return _np.full(dim, i, dtype=_np.float32)
+
+    t0 = time.perf_counter()
+    for i in range(n_ops):
+        k = int(keys[i])
+        op = i % 4
+        if op == 0:
+            client.importance.admit(k, remote(k), float(scores[i]))
+        elif op == 3:
+            client.update_homophily(k, remote(k), [k, (k + 1) % key_space])
+        else:
+            client.fetch(k, float(scores[i]), remote)
+    return time.perf_counter() - t0
+
+
+def bench_transport(cfg: BenchConfig) -> Dict[str, float]:
+    """Sim-vs-real transport throughput, plus a wall-clock sharded epoch.
+
+    ``transport_sim_rpc_ops_per_s`` measures the in-process simulated
+    channel (wall time of the *simulation*, not simulated time);
+    ``transport_real_rpc_ops_per_s`` drives the same workload through
+    shard servers in real worker processes — honest IPC round-trips.
+    ``transport_real_epoch_time_s`` is a 2-worker shared-cache
+    data-parallel epoch over the real transport, wall-measured.
+    """
+    from repro.core.policy import SpiderCachePolicy
+    from repro.data.registry import make_dataset
+    from repro.data.synthetic import train_test_split
+    from repro.dist.client import ShardedCacheClient
+    from repro.dist.retry import RetryPolicy
+    from repro.nn.models import build_model
+    from repro.train.data_parallel import DataParallelTrainer
+    from repro.train.trainer import TrainerConfig
+
+    capacity = max(64, cfg.cache_capacity // 2)
+    key_space = max(capacity * 2, 256)
+    out: Dict[str, float] = {}
+    for mode in ("sim", "real"):
+        client = ShardedCacheClient(
+            capacity,
+            imp_ratio=0.8,
+            n_shards=2,
+            transport=mode,
+            deadline_s=5.0,
+            retry=RetryPolicy(max_attempts=2, jitter=0.0),
+        )
+        try:
+            elapsed = _drive_shard_client(
+                client, cfg.transport_ops, key_space, cfg.seed
+            )
+        finally:
+            client.close()
+        out[f"transport_{mode}_rpc_ops_per_s"] = (
+            cfg.transport_ops / max(elapsed, 1e-9)
+        )
+
+    data = make_dataset(
+        "cifar10-like", rng=cfg.seed, n_samples=cfg.epoch_samples
+    )
+    train, test = train_test_split(data, test_fraction=0.25, rng=cfg.seed + 1)
+
+    def model_factory():
+        return build_model(
+            "resnet18", train.dim, train.num_classes, rng=cfg.seed + 2
+        )
+
+    def policy_factory(rank: int):
+        return SpiderCachePolicy(cache_fraction=0.2, rng=cfg.seed + 3)
+
+    trainer = DataParallelTrainer(
+        model_factory, train, test, policy_factory,
+        world_size=2,
+        config=TrainerConfig(
+            epochs=cfg.epochs,
+            batch_size=cfg.batch_size,
+            clock_mode="real",
+            shared_cache=True,
+            cache_shards=2,
+            rpc_deadline_s=1.0,
+        ),
+        rng=cfg.seed + 4,
+    )
+    t0 = time.perf_counter()
+    trainer.run()
+    wall = time.perf_counter() - t0
+    out["transport_real_epoch_time_s"] = wall / cfg.epochs
+    return out
+
+
 def run_trajectory(
     cfg: Optional[BenchConfig] = None,
     out_dir: Optional[Path] = None,
@@ -374,6 +479,7 @@ def run_trajectory(
     metrics.update(bench_cache(cfg, rng))
     metrics.update(bench_hnsw(cfg, rng))
     metrics.update(bench_epoch(cfg))
+    metrics.update(bench_transport(cfg))
     if date is None:
         date = time.strftime("%Y-%m-%d")
     report = {

@@ -116,8 +116,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "(requires --cache-shards)",
     )
     train_p.add_argument(
-        "--rpc-deadline-ms", type=float, default=10.0,
-        help="per-call deadline for cache-protocol RPCs (sharded service)",
+        "--transport", choices=("sim", "real"), default="sim",
+        help="execution mode: 'sim' (deterministic — simulated RPC tier and "
+             "seeded-scheduler prefetching; default) or 'real' (wall-clock — "
+             "shard servers in worker processes, prefetching on real "
+             "threads; timings are measured, not modelled)",
+    )
+    train_p.add_argument(
+        "--rpc-deadline-ms", type=float, default=None,
+        help="per-call deadline for cache-protocol RPCs (sharded service); "
+             "default 10 with --transport sim, 1000 with --transport real "
+             "(real IPC has genuine latency jitter)",
     )
     train_p.add_argument(
         "--rpc-retry-budget", type=int, default=3,
@@ -283,6 +292,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="windows to sleep after any scaling decision")
     load_p.add_argument("--growth-factor", type=float, default=2.0,
                         help="multiplicative grow/shrink step (> 1)")
+    load_p.add_argument(
+        "--transport", choices=("sim", "real"), default="sim",
+        help="'sim' (default): simulated clock + congestion model, paced "
+             "open-loop from the trace timeline; 'real': shard servers in "
+             "worker processes, driven closed-loop at wall-clock speed "
+             "(measured latencies, congestion model bypassed)",
+    )
     load_p.add_argument("--seed", type=int, default=0)
     load_p.add_argument(
         "--trace-dir", default=None,
@@ -323,6 +339,7 @@ def _make_run(args, policy_name: str, observer=None):
             epochs=args.epochs,
             batch_size=args.batch_size,
             prefetch_workers=getattr(args, "prefetch_workers", 0),
+            clock_mode=getattr(args, "transport", "sim"),
         ),
         observer=observer,
     )
@@ -369,6 +386,7 @@ def _make_dp_run(args, policy_name: str, observer=None):
             epochs=args.epochs,
             batch_size=args.batch_size,
             prefetch_workers=getattr(args, "prefetch_workers", 0),
+            clock_mode=args.transport,
             shared_cache=args.shared_cache,
             cache_shards=args.cache_shards,
             rpc_deadline_s=args.rpc_deadline_ms / 1e3,
@@ -408,6 +426,9 @@ def _cmd_train(args) -> int:
     if args.resize_shards_at is not None and not args.cache_shards:
         print("--resize-shards-at requires --cache-shards", file=sys.stderr)
         return 2
+    if args.rpc_deadline_ms is None:
+        # Real IPC needs a far looser budget than the simulated channel.
+        args.rpc_deadline_ms = 1000.0 if args.transport == "real" else 10.0
     if args.rpc_deadline_ms <= 0:
         print("--rpc-deadline-ms must be positive", file=sys.stderr)
         return 2
@@ -466,6 +487,7 @@ def _cmd_train(args) -> int:
                 "world_size": args.world_size,
                 "shared_cache": args.shared_cache,
                 "cache_shards": args.cache_shards,
+                "transport": args.transport,
             },
         )
         print(f"run artifacts written to {args.trace_dir}/ "
@@ -747,6 +769,7 @@ def _cmd_load(args) -> int:
             total_capacity=args.capacity,
             imp_ratio=args.imp_ratio,
             n_shards=args.shards,
+            transport=args.transport,
             window_requests=args.window,
             slo=SloPolicy(target_s=args.slo_ms / 1e3, goal=args.slo_goal),
             miss_latency_s=args.miss_ms / 1e3,
@@ -756,7 +779,10 @@ def _cmd_load(args) -> int:
         autoscaler=autoscaler,
         observer=observer,
     )
-    result = harness.run(trace)
+    try:
+        result = harness.run(trace)
+    finally:
+        harness.close()
     if recorder is not None:
         recorder.close()
 

@@ -12,8 +12,20 @@ Two halves, one goal — making concurrent data loading safe to ship:
   every ``yield`` is an explicit preemption point) under a reproducible
   interleaving. Any race found in the wild can be replayed as a failing
   test by pinning the seed.
+
+:mod:`~repro.concurrency.executor` bridges the two: the loader's slot
+tasks run either on real threads (wall-clock mode) or under the
+deterministic scheduler (test/oracle mode) behind one
+:class:`~repro.concurrency.executor.SlotExecutor` contract, selected by
+the run's ``clock_mode``.
 """
 
+from repro.concurrency.executor import (
+    DeterministicSlotExecutor,
+    SlotExecutor,
+    ThreadedSlotExecutor,
+    make_slot_executor,
+)
 from repro.concurrency.scheduler import (
     CooperativeLock,
     DeterministicScheduler,
@@ -27,4 +39,8 @@ __all__ = [
     "SchedulerDeadlock",
     "Sequencer",
     "SequencerAborted",
+    "SlotExecutor",
+    "ThreadedSlotExecutor",
+    "DeterministicSlotExecutor",
+    "make_slot_executor",
 ]

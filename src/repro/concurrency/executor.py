@@ -1,0 +1,189 @@
+"""Slot executors: how a prefetch batch's fetch tasks actually run.
+
+:class:`~repro.data.prefetch.PrefetchingDataLoader` hands each batch to a
+*slot executor* as a list of thunks, one per sampler slot, whose side
+effects (cache probes, stat counters, clock charges) must be committed in
+slot order. Two executors implement that contract:
+
+* :class:`ThreadedSlotExecutor` — wall-clock mode: a real
+  :class:`~concurrent.futures.ThreadPoolExecutor` overlaps the waiting
+  while a :class:`~repro.concurrency.sequencer.Sequencer` serializes the
+  commits in slot order;
+* :class:`DeterministicSlotExecutor` — test/oracle mode: the seeded
+  :class:`~repro.concurrency.scheduler.DeterministicScheduler` replaces
+  real threads with logical workers, so the interleaving (and therefore
+  the whole run) is a pure function of the seed — no OS scheduler in the
+  loop, no flake surface.
+
+Both yield bit-identical outcomes for the same slots — the commit order
+is the contract, the executor only chooses what overlaps while each slot
+waits its turn. Error semantics are shared too: the first (lowest-slot)
+failure is raised and **later slots never execute** — exactly the serial
+loader's abort shape.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.concurrency.scheduler import DeterministicScheduler
+from repro.concurrency.sequencer import Sequencer, SequencerAborted
+
+__all__ = [
+    "SlotExecutor",
+    "ThreadedSlotExecutor",
+    "DeterministicSlotExecutor",
+    "make_slot_executor",
+]
+
+
+class SlotExecutor:
+    """Runs one batch's slot thunks with in-order commit semantics."""
+
+    #: Mode tag surfaced on loaders and spans ("threads"/"deterministic").
+    kind: str = "?"
+
+    def run(self, thunks: Sequence[Callable[[], None]]) -> None:
+        """Execute every thunk, committing side effects in slot order.
+
+        On failure, the lowest failing slot's exception is raised and no
+        later slot's thunk runs.
+        """
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (idempotent)."""
+
+
+class ThreadedSlotExecutor(SlotExecutor):
+    """Real worker threads + sequencer-ordered commits (wall-clock mode).
+
+    The pool is built lazily and rebuilt after :meth:`close`, so a closed
+    executor transparently accepts more work (the loader's documented
+    close-then-reuse behavior).
+    """
+
+    kind = "threads"
+
+    def __init__(self, workers: int,
+                 thread_name_prefix: str = "repro-prefetch") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._prefix = thread_name_prefix
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix=self._prefix,
+                )
+            return self._pool
+
+    def run(self, thunks: Sequence[Callable[[], None]]) -> None:
+        seq = Sequencer()
+
+        def slot(i: int) -> None:
+            # The pool overlaps the *waiting*; the thunk's side effects
+            # run inside the sequencer turn, one slot at a time, in
+            # sampler order — the bit-exactness guarantee.
+            with seq.turn(i):
+                thunks[i]()
+
+        pool = self._ensure_pool()
+        futures = [pool.submit(slot, i) for i in range(len(thunks))]
+        error: Optional[BaseException] = None
+        for f in futures:
+            try:
+                f.result()
+            except SequencerAborted:
+                pass  # a lower slot failed; that error is the one to raise
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class DeterministicSlotExecutor(SlotExecutor):
+    """Logical workers under a seeded scheduler (test/oracle mode).
+
+    Each slot is a generator worker that spins on a turn counter; the
+    scheduler's seeded choice of *which waiter advances when* stands in
+    for thread-timing nondeterminism, while the turn counter enforces the
+    same slot-order commits the sequencer gives the threaded executor.
+    Every batch uses a fresh scheduler seeded from ``(seed, batch_no)``
+    so interleavings vary across batches but never across runs.
+    """
+
+    kind = "deterministic"
+
+    #: Step bound per batch: n workers each spin at most n turns (O(n^2))
+    #: — a generous multiple catches accidental non-termination.
+    _STEP_SLACK = 16
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self._batches = 0
+        self.last_trace: List[Tuple[int, str]] = []
+
+    def run(self, thunks: Sequence[Callable[[], None]]) -> None:
+        n = len(thunks)
+        if n == 0:
+            return
+        sched = DeterministicScheduler(
+            seed=self.seed * 1_000_003 + self._batches
+        )
+        self._batches += 1
+        state = {"turn": 0, "error": None}
+
+        def worker(slot: int):
+            while state["turn"] != slot:
+                if state["error"] is not None:
+                    return  # aborted: later slots never fetch
+                yield
+            try:
+                thunks[slot]()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                state["error"] = exc
+                return  # turn never advances; waiters see the abort
+            state["turn"] = slot + 1
+
+        for i in range(n):
+            sched.spawn(worker, i, name=f"slot{i}")
+        sched.run(max_steps=max(n * n * self._STEP_SLACK, 1024))
+        self.last_trace = sched.trace
+        if state["error"] is not None:
+            raise state["error"]
+
+
+def make_slot_executor(
+    executor: Union[str, SlotExecutor], workers: int, seed: int = 0
+) -> SlotExecutor:
+    """Resolve the loader's ``executor`` knob to an instance.
+
+    ``"threads"`` → :class:`ThreadedSlotExecutor` (wall-clock),
+    ``"deterministic"`` → :class:`DeterministicSlotExecutor` (seeded);
+    an existing :class:`SlotExecutor` passes through.
+    """
+    if isinstance(executor, SlotExecutor):
+        return executor
+    if executor == "threads":
+        return ThreadedSlotExecutor(workers)
+    if executor == "deterministic":
+        return DeterministicSlotExecutor(seed)
+    raise ValueError(
+        f"unknown executor {executor!r}; expected 'threads', "
+        "'deterministic', or a SlotExecutor instance"
+    )

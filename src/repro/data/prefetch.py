@@ -6,12 +6,16 @@ paper's modified PyTorch loader instead overlaps fetches with compute and
 with each other, so a window of concurrent fetches costs its *maximum*
 latency. :class:`PrefetchingDataLoader` reproduces that overlap shape:
 
-* a pool of ``workers`` threads pulls fetch tasks for the batch;
-* a :class:`~repro.concurrency.sequencer.Sequencer` commits each fetch's
-  side effects — cache probes/admissions, stat counters, store counters,
-  clock charges — in **sampler order**, so batches, substitutions, and
+* a :class:`~repro.concurrency.executor.SlotExecutor` runs the batch's
+  fetch tasks — real worker threads plus a
+  :class:`~repro.concurrency.sequencer.Sequencer` in wall-clock mode, or
+  the seeded
+  :class:`~repro.concurrency.scheduler.DeterministicScheduler` in
+  test/oracle mode — committing each fetch's side effects — cache
+  probes/admissions, stat counters, store counters, clock charges — in
+  **sampler order**, so batches, substitutions, and
   :class:`~repro.cache.base.CacheStats` are bit-identical to the serial
-  loader's;
+  loader's (and across executors);
 * each fetch's clock charge is captured via
   :meth:`~repro.storage.clock.SimClock.deferred` and the window of
   ``workers`` consecutive fetches is re-charged as one
@@ -26,13 +30,11 @@ fetch is in flight.
 
 from __future__ import annotations
 
-import threading
-from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.concurrency.sequencer import Sequencer, SequencerAborted
+from repro.concurrency.executor import SlotExecutor, make_slot_executor
 from repro.data.loader import Batch, DataLoader
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.storage.clock import SimClock
@@ -61,6 +63,16 @@ class PrefetchingDataLoader(DataLoader):
         ``data_load`` stage).
     observer:
         Run observer; receives one ``on_prefetch_window`` per window.
+    executor:
+        ``"threads"`` (default, wall-clock mode) runs slots on a real
+        thread pool; ``"deterministic"`` (test/oracle mode) runs them as
+        logical workers under a seeded
+        :class:`~repro.concurrency.scheduler.DeterministicScheduler` —
+        same batches, same stats, no OS-scheduler nondeterminism. A
+        :class:`~repro.concurrency.executor.SlotExecutor` instance is
+        also accepted.
+    seed:
+        Interleaving seed for the deterministic executor.
     """
 
     def __init__(
@@ -72,6 +84,8 @@ class PrefetchingDataLoader(DataLoader):
         clock: Optional[SimClock] = None,
         stage: str = "data_load",
         observer: Optional[Observer] = None,
+        executor: Union[str, SlotExecutor] = "threads",
+        seed: int = 0,
     ) -> None:
         super().__init__(labels, fetch_fn, batch_size=batch_size)
         if workers < 1:
@@ -80,8 +94,7 @@ class PrefetchingDataLoader(DataLoader):
         self.clock = clock
         self.stage = stage
         self._obs = observer if observer is not None else NULL_OBSERVER
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
+        self._executor = make_slot_executor(executor, self.workers, seed)
         #: Simulated seconds saved by overlap (serial sum - charged max),
         #: accumulated across all windows this loader served.
         self.overlap_saved_s = 0.0
@@ -92,14 +105,10 @@ class PrefetchingDataLoader(DataLoader):
         """Point window events at ``observer`` (runtime-only wiring)."""
         self._obs = observer
 
-    def _ensure_pool(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers,
-                    thread_name_prefix="repro-prefetch",
-                )
-            return self._pool
+    @property
+    def executor_kind(self) -> str:
+        """``"threads"`` or ``"deterministic"``."""
+        return self._executor.kind
 
     # ------------------------------------------------------------------
     def collate(self, ids: np.ndarray) -> Optional[Batch]:
@@ -116,33 +125,21 @@ class PrefetchingDataLoader(DataLoader):
 
         outcomes: List[Optional[object]] = [None] * n
         durations = [0.0] * n
-        seq = Sequencer()
 
-        def fetch_slot(slot: int) -> None:
-            # The pool overlaps the *waiting*; the cache/store/clock side
-            # effects run inside the sequencer turn, one slot at a time,
-            # in sampler order — the bit-exactness guarantee.
-            with seq.turn(slot):
+        def make_thunk(slot: int):
+            def fetch_slot() -> None:
+                # The executor guarantees slot-order commits; the
+                # cache/store/clock side effects here run one slot at a
+                # time, in sampler order — the bit-exactness guarantee.
                 if self.clock is not None:
                     with self.clock.deferred(self.stage) as cell:
                         outcomes[slot] = self.fetch_fn(int(ids[slot]))
                     durations[slot] = cell.seconds
                 else:
                     outcomes[slot] = self.fetch_fn(int(ids[slot]))
+            return fetch_slot
 
-        pool = self._ensure_pool()
-        futures = [pool.submit(fetch_slot, i) for i in range(n)]
-        error: Optional[BaseException] = None
-        for f in futures:
-            try:
-                f.result()
-            except SequencerAborted:
-                pass  # a lower slot failed; that error is the one to raise
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                if error is None:
-                    error = exc
-        if error is not None:
-            raise error
+        self._executor.run([make_thunk(i) for i in range(n)])
 
         self._commit_windows(durations)
         return self._collate_outcomes(outcomes)
@@ -177,11 +174,9 @@ class PrefetchingDataLoader(DataLoader):
         """
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
-        with self._pool_lock:
-            pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown(wait=True)
+        """Shut down the slot executor (idempotent; the threaded
+        executor lazily rebuilds its pool if used again)."""
+        self._executor.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:

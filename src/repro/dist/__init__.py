@@ -18,9 +18,12 @@ Modules:
 
 * :mod:`~repro.dist.ring` — splitmix64 consistent-hash ring (virtual
   nodes, minimal disruption on resize);
-* :mod:`~repro.dist.rpc` — :class:`SimRpcChannel` with per-call
-  deadlines, fault-plan outage/brownout injection, and timeout-vs-outage
-  error classification;
+* :mod:`~repro.dist.rpc` — the :class:`Transport` interface and the
+  simulated :class:`SimRpcChannel` with per-call deadlines, fault-plan
+  outage/brownout injection, and timeout-vs-outage error classification;
+* :mod:`~repro.dist.transport` — :class:`RealRpcTransport`, the
+  wall-clock backend running shard servers in real worker processes
+  behind a length-prefixed ``multiprocessing.connection`` protocol;
 * :mod:`~repro.dist.retry` — seeded-jitter capped exponential backoff
   with a per-request retry budget;
 * :mod:`~repro.dist.server` — idempotent shard partition servers;
@@ -38,13 +41,17 @@ from repro.dist.rpc import (
     RpcTimeoutError,
     ShardOutageError,
     SimRpcChannel,
+    Transport,
 )
 from repro.dist.server import CacheShardServer
+from repro.dist.transport import RealRpcTransport
 
 __all__ = [
     "ConsistentHashRing",
     "CacheShardServer",
+    "Transport",
     "SimRpcChannel",
+    "RealRpcTransport",
     "ShardedCacheClient",
     "MigrationState",
     "RetryPolicy",

@@ -4,7 +4,12 @@
 :class:`~repro.core.semantic_cache.SemanticCache` API to the trainer and
 the policy, but stores payload bytes on
 :class:`~repro.dist.server.CacheShardServer` partitions reached over a
-deadline-enforcing, fault-injected :class:`~repro.dist.rpc.SimRpcChannel`.
+deadline-enforcing :class:`~repro.dist.rpc.Transport` — the simulated,
+fault-injected :class:`~repro.dist.rpc.SimRpcChannel` (deterministic
+oracle) or the wall-clock
+:class:`~repro.dist.transport.RealRpcTransport` (servers in real worker
+processes), selected by the ``transport`` parameter. All
+retry/breaker/anti-entropy machinery below is transport-agnostic.
 
 Design: **all policy state is client-side**. The client owns one
 :class:`~repro.utils.heap.IndexedMinHeap` (importance scores + global
@@ -67,6 +72,7 @@ from repro.dist.rpc import (
     RpcTimeoutError,
     ShardOutageError,
     SimRpcChannel,
+    Transport,
 )
 from repro.dist.server import CacheShardServer
 from repro.obs.observer import NULL_OBSERVER, Observer
@@ -167,10 +173,19 @@ class ShardedCacheClient:
         Item budget and importance split — exactly as the monolith.
     n_shards:
         Initial shard-server count (consistent-hash ring size).
+    transport:
+        ``"sim"`` (default) builds a :class:`SimRpcChannel` — in-process
+        servers, simulated clock, fault injection; the deterministic
+        oracle. ``"real"`` builds a
+        :class:`~repro.dist.transport.RealRpcTransport` — servers in
+        real worker processes on a wall clock (``latency`` /
+        ``fault_plans`` are rejected; chaos uses the transport's
+        ``kill_shard``). A prebuilt :class:`~repro.dist.rpc.Transport`
+        instance is also accepted.
     clock / latency / deadline_s / fault_plans:
-        Forwarded to the :class:`SimRpcChannel` (shared simulated clock,
-        per-call latency model, per-call deadline, per-shard fault
-        schedules).
+        Forwarded to the transport (shared clock, per-call latency
+        model — sim only, per-call deadline, per-shard fault schedules —
+        sim only).
     retry:
         :class:`RetryPolicy` for every cache-protocol call; default
         policy retries twice with seeded-jitter exponential backoff.
@@ -189,6 +204,7 @@ class ShardedCacheClient:
         total_capacity: int,
         imp_ratio: float = 0.9,
         n_shards: int = 1,
+        transport: Any = "sim",
         clock: Optional[SimClock] = None,
         latency: Optional[LatencyModel] = None,
         deadline_s: float = 0.01,
@@ -218,17 +234,41 @@ class ShardedCacheClient:
 
         self.n_shards = int(n_shards)
         self._ring = ConsistentHashRing(self.n_shards, vnodes=vnodes, seed=seed)
-        self._servers: Dict[int, CacheShardServer] = {
-            sid: CacheShardServer(sid) for sid in range(self.n_shards)
-        }
-        self._channel = SimRpcChannel(
-            self._servers,
-            clock=clock,
-            latency=latency,
-            deadline_s=deadline_s,
-            fault_plans=fault_plans,
-        )
-        self.clock = self._channel.clock
+        if isinstance(transport, str):
+            if transport == "sim":
+                self._transport: Transport = SimRpcChannel(
+                    clock=clock,
+                    latency=latency,
+                    deadline_s=deadline_s,
+                    fault_plans=fault_plans,
+                )
+            elif transport == "real":
+                if latency is not None:
+                    raise ValueError(
+                        "latency models are a simulation feature; the real "
+                        "transport has real latency"
+                    )
+                if fault_plans:
+                    raise ValueError(
+                        "fault plans are a simulation feature; use the real "
+                        "transport's kill_shard for wall-clock chaos"
+                    )
+                from repro.dist.transport import RealRpcTransport
+
+                self._transport = RealRpcTransport(
+                    clock=clock, deadline_s=deadline_s
+                )
+            else:
+                raise ValueError(
+                    f"unknown transport {transport!r}; expected 'sim', "
+                    "'real', or a Transport instance"
+                )
+        else:
+            self._transport = transport
+        for sid in range(self.n_shards):
+            if not self._transport.has_shard(sid):
+                self._transport.add_shard(sid)
+        self.clock = self._transport.clock
         self.retry = retry if retry is not None else RetryPolicy()
         self._breaker_kwargs = dict(
             failure_threshold=int(breaker_failure_threshold),
@@ -266,13 +306,18 @@ class ShardedCacheClient:
     def attach_observer(self, observer: Observer) -> None:
         """Publish RPC, breaker, and cache activity to ``observer``."""
         self._obs = observer
-        self._channel.attach_observer(observer)
+        self._transport.attach_observer(observer)
         for sid, breaker in self._breakers.items():
             breaker.attach_observer(observer, label=f"shard{sid}")
 
     @property
-    def channel(self) -> SimRpcChannel:
-        return self._channel
+    def transport(self) -> Transport:
+        return self._transport
+
+    @property
+    def channel(self) -> Transport:
+        """Back-compat alias for :attr:`transport`."""
+        return self._transport
 
     @property
     def ring(self) -> ConsistentHashRing:
@@ -280,7 +325,9 @@ class ShardedCacheClient:
 
     @property
     def servers(self) -> Dict[int, CacheShardServer]:
-        return self._servers
+        """In-process server dict (sim transport only; the real
+        transport's servers live in other processes)."""
+        return self._transport.servers
 
     @property
     def breakers(self) -> Dict[int, CircuitBreaker]:
@@ -293,7 +340,7 @@ class ShardedCacheClient:
 
     def set_fault_plan(self, shard: int, plan: Optional[Any]) -> None:
         """Install (or clear) one shard's fault schedule."""
-        self._channel.set_fault_plan(shard, plan)
+        self._transport.set_fault_plan(shard, plan)
 
     def _placement_ring(self) -> ConsistentHashRing:
         """Ring governing *new* placements: the migration target while a
@@ -324,7 +371,7 @@ class ShardedCacheClient:
         span = (
             obs.span_start(
                 "rpc", clock.total_seconds, shard=shard, method=method,
-                breaker=breaker.state.value,
+                breaker=breaker.state.value, transport=self._transport.name,
             )
             if obs.active else None
         )
@@ -344,7 +391,7 @@ class ShardedCacheClient:
                     f"rejecting {method}"
                 )
             try:
-                result = self._channel.call(shard, method, *args, nbytes=nbytes)
+                result = self._transport.call(shard, method, *args, nbytes=nbytes)
             except _ATTEMPT_ERRORS as exc:
                 last = exc
                 breaker.record_failure(clock.total_seconds)
@@ -353,7 +400,7 @@ class ShardedCacheClient:
                     self._shard_stats[shard]["rpc_retries"] += 1
                     t0 = clock.total_seconds
                     clock.advance(
-                        self._channel.STAGE,
+                        self._transport.STAGE,
                         self.retry.backoff_s(request_id, attempt),
                     )
                     if obs.active:
@@ -385,7 +432,7 @@ class ShardedCacheClient:
         harmless because deletes are idempotent)."""
         shard = int(shard)
         entry = (layer, int(key))
-        if shard not in self._servers:
+        if not self._transport.has_shard(shard):
             return  # shard retired by a shrink resize; nothing to repair
         breaker = self._breakers.get(shard)
         now = self.clock.total_seconds
@@ -393,7 +440,7 @@ class ShardedCacheClient:
             self._pending_deletes.setdefault(shard, []).append(entry)
             return
         try:
-            self._channel.call(shard, f"{layer}_delete", int(key))
+            self._transport.call(shard, f"{layer}_delete", int(key))
         except _ATTEMPT_ERRORS:
             if breaker is not None:
                 breaker.record_failure(self.clock.total_seconds)
@@ -429,7 +476,7 @@ class ShardedCacheClient:
         )
         repaired = True
         try:
-            self._channel.call(shard, "bulk_delete", live)
+            self._transport.call(shard, "bulk_delete", live)
         except _ATTEMPT_ERRORS:
             repaired = False
             self._pending_deletes[shard] = live + self._pending_deletes[shard]
@@ -871,7 +918,7 @@ class ShardedCacheClient:
         if new_n == old_n:
             return None
         for sid in range(old_n, new_n):
-            self._servers[sid] = CacheShardServer(sid)
+            self._transport.add_shard(sid)
             breaker = CircuitBreaker(**self._breaker_kwargs)
             breaker.attach_observer(self._obs, label=f"shard{sid}")
             self._breakers[sid] = breaker
@@ -946,7 +993,7 @@ class ShardedCacheClient:
             state.moved_keys += len(entries)
             if entries:
                 try:
-                    self._channel.call(
+                    self._transport.call(
                         batch.src,
                         "bulk_delete",
                         [(batch.layer, k) for k in entries],
@@ -972,7 +1019,7 @@ class ShardedCacheClient:
         for sid in range(self.n_shards, old_n):
             # Retired shards hold no referenced payloads any more; their
             # queued repairs die with them.
-            self._servers.pop(sid, None)
+            self._transport.remove_shard(sid)
             self._breakers.pop(sid, None)
             self._pending_deletes.pop(sid, None)
         self.completed_resizes += 1
@@ -989,9 +1036,17 @@ class ShardedCacheClient:
         ring-disagreement entries."""
         ring = self._placement_ring()
         resident: Dict[Tuple[int, str], Set[int]] = {}
-        for sid, server in self._servers.items():
+        for sid in self._transport.shard_ids:
             for layer in ("imp", "hom"):
-                resident[(sid, layer)] = set(server.keys(layer))
+                try:
+                    # Control-plane peek: no latency charge, no faults,
+                    # no stats — the audit must not perturb the run.
+                    keys = self._transport.peek(sid, "keys", layer)
+                except _ATTEMPT_ERRORS:
+                    # Unreachable shard (real-transport outage): every
+                    # payload it held is reported lost, which is true.
+                    keys = ()
+                resident[(sid, layer)] = set(keys)
         bad: List[Tuple[str, int, int, Optional[int]]] = []
         for layer, loc in (("imp", self._imp_loc), ("hom", self._hom_loc)):
             for key, shard in loc.items():
@@ -1011,9 +1066,9 @@ class ShardedCacheClient:
         report's shards table."""
         imp_occ = Counter(self._imp_loc.values())
         hom_occ = Counter(self._hom_loc.values())
-        ch = self._channel
+        ch = self._transport
         snaps = []
-        for sid in sorted(self._servers):
+        for sid in sorted(self._transport.shard_ids):
             ss = self._shard_stats[sid]
             snaps.append(
                 {
@@ -1049,6 +1104,17 @@ class ShardedCacheClient:
         self.degraded.reset()
         self.importance.stats.reset()
         self.homophily.stats.reset()
+
+    def close(self) -> None:
+        """Release the transport (worker processes in real mode);
+        idempotent, no-op for the in-process sim channel."""
+        self._transport.close()
+
+    def __enter__(self) -> "ShardedCacheClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # checkpointing (SemanticCache-compatible state_dict)
@@ -1123,7 +1189,7 @@ class ShardedCacheClient:
                 stale.setdefault(s, []).append((layer, k))
         for shard, entries in stale.items():
             try:
-                self._channel.call(shard, "bulk_delete", entries)
+                self._transport.call(shard, "bulk_delete", entries)
             except _ATTEMPT_ERRORS:
                 self._pending_deletes.setdefault(shard, []).extend(entries)
 

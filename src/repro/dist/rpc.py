@@ -24,8 +24,9 @@ a timeout, not an outage).
 
 from __future__ import annotations
 
+import abc
 from collections import Counter
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.observer import NULL_OBSERVER, Observer
 from repro.resilience.faults import FaultPlan
@@ -36,6 +37,7 @@ __all__ = [
     "RpcError",
     "ShardOutageError",
     "RpcTimeoutError",
+    "Transport",
     "SimRpcChannel",
 ]
 
@@ -61,7 +63,105 @@ class RpcTimeoutError(RpcError):
     """The call exceeded its deadline; it may still have executed."""
 
 
-class SimRpcChannel:
+class Transport(abc.ABC):
+    """One-attempt RPC transport to a fleet of cache shard servers.
+
+    A transport owns the shard servers' lifetime and carries exactly one
+    call attempt — retries, backoff, and circuit breaking live *above* it
+    in :class:`~repro.dist.client.ShardedCacheClient`, which works
+    unchanged over any implementation. Two ship:
+
+    * :class:`SimRpcChannel` (``name="sim"``) — in-process servers on a
+      :class:`~repro.storage.clock.SimClock`; deterministic, supports
+      fault injection; the differential-testing oracle.
+    * :class:`~repro.dist.transport.RealRpcTransport` (``name="real"``) —
+      servers in real worker processes behind a length-prefixed
+      ``multiprocessing.connection`` protocol on a
+      :class:`~repro.storage.clock.WallClock`.
+
+    Error classification is shared (and parity-tested): a call either
+    returns, raises :class:`ShardOutageError` (definitely never
+    executed), or raises :class:`RpcTimeoutError` (ambiguous — it *did or
+    may have* executed server-side; only the reply is lost). Transports
+    also expose a stats surface (``calls`` / ``failures`` / ``timeouts``
+    plus ``per_shard_*`` Counters) the client snapshots per shard.
+    """
+
+    #: Short mode tag stamped on spans/metrics (``"sim"`` / ``"real"``).
+    name: str = "?"
+    #: Clock stage charged per attempt.
+    STAGE = "rpc"
+
+    calls: int
+    failures: int
+    timeouts: int
+    per_shard_calls: Counter
+    per_shard_failures: Counter
+    per_shard_timeouts: Counter
+
+    def _init_stats(self) -> None:
+        self.calls = 0
+        self.failures = 0  # outage-classified attempts
+        self.timeouts = 0  # deadline-classified attempts
+        self.per_shard_calls = Counter()
+        self.per_shard_failures = Counter()
+        self.per_shard_timeouts = Counter()
+        self._obs = NULL_OBSERVER
+
+    def attach_observer(self, observer: Observer) -> None:
+        """Publish per-attempt latency/outcome to ``observer``."""
+        self._obs = observer
+
+    # -- data plane ----------------------------------------------------
+    @abc.abstractmethod
+    def call(self, shard: int, method: str, *args: Any, nbytes: int = 0) -> Any:
+        """One RPC attempt; returns the server method's result."""
+
+    @abc.abstractmethod
+    def peek(self, shard: int, method: str, *args: Any) -> Any:
+        """Control-plane read: no latency charge, no faults, no stats.
+
+        Used by audits (:meth:`ShardedCacheClient.verify_placement`) that
+        must not perturb the run's accounting or trip breakers.
+        """
+
+    # -- shard lifecycle -----------------------------------------------
+    @abc.abstractmethod
+    def add_shard(self, shard: int) -> None:
+        """Provision an (empty) server for ``shard``; idempotent."""
+
+    @abc.abstractmethod
+    def remove_shard(self, shard: int) -> None:
+        """Decommission ``shard``'s server; unknown ids are a no-op."""
+
+    @abc.abstractmethod
+    def has_shard(self, shard: int) -> bool:
+        """Whether ``shard`` currently has a (possibly dead) server."""
+
+    @property
+    @abc.abstractmethod
+    def shard_ids(self) -> List[int]:
+        """Sorted ids of all provisioned shards."""
+
+    # -- optional features ---------------------------------------------
+    def set_fault_plan(self, shard: int, plan: Optional[FaultPlan]) -> None:
+        """Install a fault-injection plan (simulated transports only)."""
+        raise NotImplementedError(
+            f"{self.name!r} transport does not support fault plans; "
+            "injected faults are a simulation feature"
+        )
+
+    def close(self) -> None:
+        """Release transport resources (worker processes, sockets)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class SimRpcChannel(Transport):
     """Single-attempt simulated RPC to a set of shard servers.
 
     Retries, backoff, and circuit breaking live *above* this channel (in
@@ -71,8 +171,10 @@ class SimRpcChannel:
     Parameters
     ----------
     servers:
-        ``{shard_id: CacheShardServer}``; the dict is shared with the
-        client and mutated on ring resizes.
+        Optional seed ``{shard_id: CacheShardServer}``; the dict is owned
+        by the channel afterwards and mutated on ring resizes (it stays
+        visible to callers that keep a reference — tests reach into
+        live servers through it).
     clock:
         Shared simulated clock; every attempt (including failed ones)
         charges the :attr:`STAGE` stage.
@@ -88,10 +190,11 @@ class SimRpcChannel:
     """
 
     STAGE = "rpc"
+    name = "sim"
 
     def __init__(
         self,
-        servers: Dict[int, Any],
+        servers: Optional[Dict[int, Any]] = None,
         clock: Optional[SimClock] = None,
         latency: Optional[LatencyModel] = None,
         deadline_s: float = 0.01,
@@ -99,24 +202,39 @@ class SimRpcChannel:
     ) -> None:
         if deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
-        self.servers = servers
+        self.servers = servers if servers is not None else {}
         self.clock = clock if clock is not None else SimClock()
         self.latency = latency if latency is not None else ConstantLatency(
             base_s=2e-4, bandwidth_bps=10e9
         )
         self.deadline_s = float(deadline_s)
         self.fault_plans: Dict[int, FaultPlan] = dict(fault_plans or {})
-        self.calls = 0
-        self.failures = 0  # outage-classified attempts
-        self.timeouts = 0  # deadline-classified attempts
-        self.per_shard_calls: Counter = Counter()
-        self.per_shard_failures: Counter = Counter()
-        self.per_shard_timeouts: Counter = Counter()
-        self._obs = NULL_OBSERVER
+        self._init_stats()
 
-    def attach_observer(self, observer: Observer) -> None:
-        """Publish per-attempt latency/outcome to ``observer``."""
-        self._obs = observer
+    # -- shard lifecycle -----------------------------------------------
+    def add_shard(self, shard: int) -> None:
+        from repro.dist.server import CacheShardServer
+
+        shard = int(shard)
+        if shard not in self.servers:
+            self.servers[shard] = CacheShardServer(shard)
+
+    def remove_shard(self, shard: int) -> None:
+        self.servers.pop(int(shard), None)
+
+    def has_shard(self, shard: int) -> bool:
+        return int(shard) in self.servers
+
+    @property
+    def shard_ids(self) -> List[int]:
+        return sorted(self.servers)
+
+    def peek(self, shard: int, method: str, *args: Any) -> Any:
+        """Direct in-process read: free of charge, faults, and stats."""
+        server = self.servers.get(int(shard))
+        if server is None:
+            raise RpcError(int(shard), method, "unknown shard")
+        return getattr(server, method)(*args)
 
     # ------------------------------------------------------------------
     def set_fault_plan(self, shard: int, plan: Optional[FaultPlan]) -> None:
@@ -156,6 +274,7 @@ class SimRpcChannel:
                     self._obs.span_record(
                         "rpc_attempt", now, now + charged,
                         shard=shard, method=method, ok=False, error="outage",
+                        transport=self.name,
                     )
                 raise ShardOutageError(
                     shard, method, f"outage at t={now:.3f}s"
@@ -175,6 +294,7 @@ class SimRpcChannel:
                 self._obs.span_record(
                     "rpc_attempt", now, now + self.deadline_s,
                     shard=shard, method=method, ok=False, error="timeout",
+                    transport=self.name,
                 )
             raise RpcTimeoutError(
                 shard, method,
@@ -187,6 +307,6 @@ class SimRpcChannel:
             self._obs.on_rpc(shard, method, lat)
             self._obs.span_record(
                 "rpc_attempt", now, now + lat,
-                shard=shard, method=method, ok=True,
+                shard=shard, method=method, ok=True, transport=self.name,
             )
         return result

@@ -100,6 +100,17 @@ class CacheShardServer:
             store[int(k)] = payload
 
     # -- introspection ----------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Hit counters, fetchable over any transport (process-remote
+        servers can't expose bare attributes)."""
+        return {
+            "imp_hits": self.imp_hits,
+            "hom_hits": self.hom_hits,
+            "hom_substitute_hits": self.hom_substitute_hits,
+            "imp_len": len(self._stores["imp"]),
+            "hom_len": len(self._stores["hom"]),
+        }
+
     def occupancy(self, layer: str) -> int:
         """Number of payloads resident in one layer."""
         return len(self._store(layer))

@@ -110,6 +110,12 @@ class ReplayConfig:
     total_capacity: int
     imp_ratio: float = 0.8
     n_shards: int = 2
+    # "sim" (default): simulated clock + M/M/1 congestion model, paced
+    # open-loop from the trace timeline; deterministic and digest-stable.
+    # "real": shard servers in worker processes (RealRpcTransport) on a
+    # wall clock, driven closed-loop as fast as the hardware allows;
+    # latencies are measured, the congestion model is bypassed.
+    transport: str = "sim"
     window_requests: int = 1000
     slo: SloPolicy = SloPolicy(target_s=0.02, goal=0.99)
     miss_latency_s: float = 1e-3  # backing-store fetch on a miss
@@ -138,6 +144,10 @@ class ReplayConfig:
             raise ValueError("rpc_retry_budget must be >= 1")
         if self.payload_dim < 1:
             raise ValueError("payload_dim must be >= 1")
+        if self.transport not in ("sim", "real"):
+            raise ValueError(
+                f"transport must be 'sim' or 'real', got {self.transport!r}"
+            )
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe dict (keys match the ``load.json`` schema)."""
@@ -145,6 +155,7 @@ class ReplayConfig:
             "total_capacity": self.total_capacity,
             "imp_ratio": self.imp_ratio,
             "n_shards": self.n_shards,
+            "transport": self.transport,
             "window_requests": self.window_requests,
             "slo": self.slo.as_dict(),
             "miss_latency_s": self.miss_latency_s,
@@ -341,25 +352,50 @@ class ReplayHarness:
         self.burn_rules = (
             DEFAULT_BURN_RULES if burn_rules is None else tuple(burn_rules)
         )
-        self.clock = SimClock()
-        self.latency = CongestionLatency()
-        self.client = ShardedCacheClient(
-            config.total_capacity,
-            imp_ratio=config.imp_ratio,
-            n_shards=config.n_shards,
-            clock=self.clock,
-            latency=self.latency,
-            deadline_s=config.rpc_deadline_s,
-            retry=RetryPolicy(
-                max_attempts=config.rpc_retry_budget,
-                seed=config.seed,
-            ),
-            fault_plans=fault_plans,
-        )
+        if config.transport == "real":
+            if fault_plans:
+                raise ValueError(
+                    "fault plans are a simulation feature; wall-clock chaos "
+                    "uses the real transport's kill_shard"
+                )
+            self.latency: Optional[CongestionLatency] = None
+            self.client = ShardedCacheClient(
+                config.total_capacity,
+                imp_ratio=config.imp_ratio,
+                n_shards=config.n_shards,
+                transport="real",
+                deadline_s=config.rpc_deadline_s,
+                retry=RetryPolicy(
+                    max_attempts=config.rpc_retry_budget,
+                    seed=config.seed,
+                ),
+            )
+            self.clock = self.client.clock  # the transport's WallClock
+        else:
+            self.clock = SimClock()
+            self.latency = CongestionLatency()
+            self.client = ShardedCacheClient(
+                config.total_capacity,
+                imp_ratio=config.imp_ratio,
+                n_shards=config.n_shards,
+                clock=self.clock,
+                latency=self.latency,
+                deadline_s=config.rpc_deadline_s,
+                retry=RetryPolicy(
+                    max_attempts=config.rpc_retry_budget,
+                    seed=config.seed,
+                ),
+                fault_plans=fault_plans,
+            )
         self._obs = observer if observer is not None else NULL_OBSERVER
         if observer is not None:
             self.client.attach_observer(observer)
         self._resizes_verified = 0
+
+    def close(self) -> None:
+        """Release the shard tier (worker processes in real mode);
+        idempotent, no-op over the simulated channel."""
+        self.client.close()
 
     # ------------------------------------------------------------------
     def _remote_get(self, index: int):
@@ -381,7 +417,8 @@ class ReplayHarness:
         rho = offered_rps / (
             self.config.service_rate_per_shard * self._effective_shards()
         )
-        self.latency.utilization = rho
+        if self.latency is not None:  # real transport: latency is real
+            self.latency.utilization = rho
         return rho
 
     def _finish_migration_step(self) -> None:
@@ -472,7 +509,10 @@ class ReplayHarness:
             for i in range(lo, hi):
                 t_arr = float(arrival[i])
                 now = self.clock.total_seconds
-                if t_arr > now:
+                if cfg.transport == "sim" and t_arr > now:
+                    # Open-loop pacing from the trace timeline (sim only:
+                    # a wall-clock replay runs closed-loop, as fast as
+                    # the shard fleet will go).
                     self.clock.advance(ARRIVAL_STAGE, t_arr - now)
                 before = self.clock.total_seconds
                 out = apply_request(

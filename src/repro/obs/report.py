@@ -289,6 +289,20 @@ def _trace_section(trace_path: Path, epochs: List[Dict[str, Any]]) -> List[str]:
         lines.append("breaker transitions:")
         for ev in breaker:
             lines.append(f"  t={ev['at_s']:>9.3f}s {ev['old']} -> {ev['new']}")
+    # RPC spans tag which carrier served each attempt (sim oracle vs real
+    # worker processes), so a trace is self-describing about its mode.
+    rpc_by_transport: Dict[str, int] = {}
+    for ev in events:
+        if ev.get("kind") == "span" and "transport" in ev \
+                and str(ev.get("name", "")).startswith("rpc"):
+            t = str(ev["transport"])
+            rpc_by_transport[t] = rpc_by_transport.get(t, 0) + 1
+    if rpc_by_transport:
+        lines.append(
+            "rpc transport: "
+            + "  ".join(f"{k}={v} attempt(s)"
+                        for k, v in sorted(rpc_by_transport.items()))
+        )
     degraded = sum(
         1 for e in events
         if e.get("kind") == "fetch" and e.get("source") == "degraded"

@@ -25,11 +25,12 @@ Two primitives support overlapped accounting (Fig. 12's pipelining):
 from __future__ import annotations
 
 import threading
+import time
 from collections import defaultdict
 from contextlib import contextmanager
 from typing import Dict, Iterable, Iterator
 
-__all__ = ["SimClock", "DeferredCharge"]
+__all__ = ["SimClock", "WallClock", "DeferredCharge"]
 
 
 class DeferredCharge:
@@ -153,3 +154,71 @@ class SimClock:
         with self._lock:
             for stage, secs in snap.items():
                 self._stage_s[stage] += secs
+
+
+class WallClock:
+    """Real-time clock with the :class:`SimClock` read API (wall-clock mode).
+
+    Components built against ``SimClock`` — breakers reading
+    :attr:`total_seconds`, retry layers calling :meth:`advance` for
+    backoff — run unchanged on real hardware when handed a ``WallClock``:
+
+    * :attr:`total_seconds` is elapsed wall time since construction, so
+      breaker cooldowns and outage windows are measured in real seconds;
+    * :meth:`advance` actually **sleeps** — a retry backoff charge becomes
+      a real delay — while still recording per-stage totals so
+      :meth:`breakdown` stays meaningful;
+    * :meth:`advance_parallel` only records (``max`` of the window): the
+      overlap already happened in real time, sleeping again would
+      double-pay it.
+
+    There is no :meth:`deferred` capture and no ``state_dict`` — wall
+    time cannot be checkpointed or replayed; deterministic runs use
+    :class:`SimClock`.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self._stage_s: Dict[str, float] = defaultdict(float)
+        self._lock = threading.Lock()
+
+    @property
+    def total_seconds(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def advance(self, stage: str, seconds: float) -> None:
+        """Really sleep ``seconds`` and record them against ``stage``."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        if seconds > 0:
+            time.sleep(seconds)
+        with self._lock:
+            self._stage_s[stage] += seconds
+
+    def advance_parallel(self, stage: str, durations: Iterable[float]) -> float:
+        """Record (not sleep) an overlapped window; returns max duration."""
+        durations = [float(d) for d in durations]
+        if any(d < 0 for d in durations):
+            raise ValueError("cannot advance the clock backwards")
+        if not durations:
+            return 0.0
+        charge = max(durations)
+        with self._lock:
+            self._stage_s[stage] += charge
+        return charge
+
+    def stage_seconds(self, stage: str) -> float:
+        """Seconds explicitly recorded against one stage (not elapsed wall)."""
+        with self._lock:
+            return self._stage_s.get(stage, 0.0)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Copy of explicitly recorded per-stage totals."""
+        with self._lock:
+            return dict(self._stage_s)
+
+    def reset(self) -> None:
+        """Re-zero the epoch: elapsed time restarts from now."""
+        with self._lock:
+            self._t0 = time.perf_counter()
+            self._stage_s.clear()

@@ -242,6 +242,19 @@ class DataParallelTrainer:
                 "--cache-shards or repair the installation"
             ) from exc
         cfg = self.config
+        if cfg.clock_mode == "real":
+            # Wall-clock tier: shard servers in real worker processes on
+            # their own WallClock (RPC time is measured, not charged to
+            # the run's simulated clock; breaker cooldowns and retry
+            # backoffs become real seconds).
+            return ShardedCacheClient(
+                capacity,
+                imp_ratio=imp_ratio,
+                n_shards=self.cache_shards,
+                transport="real",
+                deadline_s=cfg.rpc_deadline_s,
+                retry=RetryPolicy(max_attempts=cfg.rpc_retry_budget),
+            )
         return ShardedCacheClient(
             capacity,
             imp_ratio=imp_ratio,
@@ -388,7 +401,14 @@ class DataParallelTrainer:
             if client is not None:
                 self._maybe_resize_shards(client, epoch)
             load_before = [c.stage_seconds(RemoteStore.STAGE) for c in clocks]
-            rpc_before = [c.stage_seconds(RPC_STAGE) for c in clocks]
+            # In wall-clock mode cache RPCs are measured on the client's
+            # own WallClock, not charged to the shared simulated clock.
+            rpc_clocks = (
+                [client.clock] * len(clocks)
+                if client is not None and cfg.clock_mode == "real"
+                else clocks
+            )
+            rpc_before = [c.stage_seconds(RPC_STAGE) for c in rpc_clocks]
             stats_before = [
                 (s.requests, s.hits + s.substitute_hits, s.hits,
                  s.substitute_hits)
@@ -439,7 +459,7 @@ class DataParallelTrainer:
             # across the workers issuing the calls.
             rpcs = [
                 (c.stage_seconds(RPC_STAGE) - b) / k
-                for c, b in zip(clocks, rpc_before)
+                for c, b in zip(rpc_clocks, rpc_before)
             ]
             data_load_s = (
                 loads[0] / k + rpcs[0] if self.shared_cache
@@ -496,4 +516,14 @@ class DataParallelTrainer:
                 run_span, first.clock.total_seconds,
                 epochs=len(result.epochs),
             )
+        self.close()
         return result
+
+    def close(self) -> None:
+        """Release wall-clock resources — the real transport's shard
+        worker processes. No-op (and idempotent) for simulated runs."""
+        if self.config.clock_mode != "real":
+            return
+        client = self._shared_client()
+        if client is not None and hasattr(client, "close"):
+            client.close()

@@ -57,6 +57,13 @@ class TrainerConfig:
 
     epochs: int = 30
     batch_size: int = 128
+    # "sim" (default): deterministic mode — SimClock time, the seeded
+    # DeterministicScheduler executes prefetch slots, shard RPCs cross
+    # the simulated channel; every run is bit-reproducible. "real":
+    # wall-clock mode — prefetch slots run on real threads and the
+    # shared sharded cache (if any) runs on real worker processes behind
+    # RealRpcTransport; timings are measured, not modelled.
+    clock_mode: str = "sim"
     lr: float = 0.05
     momentum: float = 0.9
     weight_decay: float = 0.0
@@ -200,6 +207,11 @@ class Trainer:
                 rng=self._rng,
             )
         )
+        if self.config.clock_mode not in ("sim", "real"):
+            raise ValueError(
+                f"clock_mode must be 'sim' or 'real', "
+                f"got {self.config.clock_mode!r}"
+            )
         if self.config.prefetch_workers > 0:
             from repro.data.prefetch import PrefetchingDataLoader
 
@@ -211,6 +223,12 @@ class Trainer:
                 clock=self.clock,
                 stage=RemoteStore.STAGE,
                 observer=self.observer,
+                # Deterministic (seeded-scheduler) slot execution in sim
+                # mode; real threads only when the run is wall-clock.
+                executor=(
+                    "threads" if self.config.clock_mode == "real"
+                    else "deterministic"
+                ),
             )
         else:
             self.loader = DataLoader(

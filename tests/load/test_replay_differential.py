@@ -42,6 +42,9 @@ def make_replay_config(n_shards):
         window_requests=25,
         slo=SloPolicy(target_s=0.02),
         payload_dim=4,
+        # Pinned: the differential oracle depends on the deterministic
+        # simulated transport; never let a default drift this to "real".
+        transport="sim",
     )
 
 

@@ -42,6 +42,9 @@ def harness(autoscale=True, **kwargs):
     cfg = ReplayConfig(
         total_capacity=256, imp_ratio=0.8, n_shards=2, window_requests=500,
         slo=SloPolicy(target_s=0.02), service_rate_per_shard=2000.0,
+        # Pinned: these assertions read simulated latencies/clock values
+        # that only exist on the deterministic transport.
+        transport="sim",
     )
     auto = Autoscaler(AutoscalerConfig(min_shards=1, max_shards=8)) \
         if autoscale else None

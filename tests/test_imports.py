@@ -33,6 +33,8 @@ def test_the_walk_found_the_tree():
     assert "repro.dist.client" in MODULES
     assert "repro.train.data_parallel" in MODULES
     assert "repro.load.replay" in MODULES
+    assert "repro.dist.transport" in MODULES
+    assert "repro.concurrency.executor" in MODULES
 
 
 @pytest.mark.parametrize("name", MODULES)
